@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark executes real workload runs and reports the
+// deterministic virtual-time makespan as the "vtime-ns" metric — the number
+// every figure in the paper is a ratio of — alongside the host wall time.
+//
+//	go test -bench=. -benchmem                      # everything, test size
+//	go test -bench BenchmarkFigure7 -benchtime 1x   # one figure
+//
+// The rendered artifacts themselves (normalized tables matching the paper's
+// layout) come from `go run ./cmd/rfdet-bench all`.
+package rfdet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rfdet"
+	"rfdet/internal/replay"
+	"rfdet/internal/workloads"
+)
+
+// benchSize keeps `go test -bench=.` affordable; cmd/rfdet-bench defaults
+// to the larger "small" size for the rendered tables.
+const benchSize = workloads.SizeTest
+
+// benchRuntimes is the Figure 7 runtime set.
+func benchRuntimes() []rfdet.Runtime {
+	return []rfdet.Runtime{
+		rfdet.NewPThreads(),
+		rfdet.NewDThreads(),
+		rfdet.NewPF(),
+		rfdet.NewCI(),
+	}
+}
+
+func runWorkload(b *testing.B, rt rfdet.Runtime, name string, threads int, size workloads.Size) {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vt uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := rt.Run(w.Prog(workloads.Config{Threads: threads, Size: size}))
+		if err != nil {
+			b.Fatalf("%s on %s: %v", name, rt.Name(), err)
+		}
+		vt = rep.VirtualTime
+	}
+	b.ReportMetric(float64(vt), "vtime-ns")
+}
+
+// BenchmarkFigure7 measures every benchmark × runtime cell of Figure 7
+// (execution time normalized to pthreads, 4 threads). Normalize the
+// "vtime-ns" metric of each runtime against the pthreads row.
+func BenchmarkFigure7(b *testing.B) {
+	for _, name := range workloads.Names() {
+		for _, rt := range benchRuntimes() {
+			b.Run(fmt.Sprintf("%s/%s", name, rt.Name()), func(b *testing.B) {
+				runWorkload(b, rt, name, 4, benchSize)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 exercises the profiled RFDet-ci executions behind Table 1
+// and reports the headline counters as metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range workloads.Names() {
+		b.Run(name, func(b *testing.B) {
+			w, _ := workloads.ByName(name)
+			rt := rfdet.NewCI()
+			var st rfdet.Stats
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(w.Prog(workloads.Config{Threads: 4, Size: benchSize}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = rep.Stats
+			}
+			b.ReportMetric(float64(st.Locks), "locks")
+			b.ReportMetric(float64(st.MemOps()), "memops")
+			b.ReportMetric(float64(st.StoresWithCopy), "stores-w-copy")
+			b.ReportMetric(float64(st.RuntimeMemBytes), "rfdet-mem-bytes")
+			b.ReportMetric(float64(st.GCCount), "gc")
+		})
+	}
+}
+
+// BenchmarkFigure8 measures the scalability series (2, 4, 8 threads) of
+// RFDet-ci and pthreads; speedups are vtime(2)/vtime(n). As in the paper,
+// dedup and ferret are omitted and lu-con represents lu-non.
+func BenchmarkFigure8(b *testing.B) {
+	skip := map[string]bool{"dedup": true, "ferret": true, "lu-non": true}
+	for _, name := range workloads.Names() {
+		if skip[name] {
+			continue
+		}
+		for _, rt := range []rfdet.Runtime{rfdet.NewPThreads(), rfdet.NewCI()} {
+			for _, n := range []int{2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", name, rt.Name(), n), func(b *testing.B) {
+					runWorkload(b, rt, name, n, benchSize)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 measures the prelock / lazy-writes optimization study on
+// the SPLASH-2 subset: speedup = vtime(baseline)/vtime(variant).
+func BenchmarkFigure9(b *testing.B) {
+	splash := []string{"ocean", "water-ns", "water-sp", "fft", "radix", "lu-con", "lu-non"}
+	variants := []struct {
+		name string
+		opts rfdet.Options
+	}{
+		{"baseline", rfdet.Options{SliceMerging: true}},
+		{"prelock", rfdet.Options{SliceMerging: true, Prelock: true}},
+		{"lazywrites", rfdet.Options{SliceMerging: true, LazyWrites: true}},
+		{"both", rfdet.Options{SliceMerging: true, Prelock: true, LazyWrites: true}},
+	}
+	for _, name := range splash {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/%s", name, v.name), func(b *testing.B) {
+				runWorkload(b, rfdet.New(v.opts), name, 4, benchSize)
+			})
+		}
+	}
+}
+
+// BenchmarkRacey measures the §5.1 stress test itself and verifies
+// determinism across all b.N iterations while doing so.
+func BenchmarkRacey(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			w, _ := workloads.ByName("racey")
+			rt := rfdet.NewCI()
+			var first uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(w.Prog(workloads.Config{Threads: threads, Size: benchSize}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = rep.OutputHash
+				} else if rep.OutputHash != first {
+					b.Fatal("racey produced different outputs across iterations")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBarrierAblation quantifies the cost of global quantum barriers
+// (Figure 1's design) directly: an imbalanced program — one compute-heavy
+// thread, three lock-synchronizing threads sharing one lock — under RFDet
+// (no global barriers), RCDC (fast path for same-thread re-acquires only:
+// §3.1's "two threads cannot acquire the same lock without a global
+// barrier"), DThreads (fence per sync) and CoreDet (fence per quantum).
+// This regenerates the motivation for the paper's §3.1 argument.
+func BenchmarkBarrierAblation(b *testing.B) {
+	prog := func(t rfdet.Thread) {
+		ctr := t.Malloc(8)
+		mu := rfdet.Addr(64)
+		heavy := t.Spawn(func(t rfdet.Thread) {
+			t.Tick(300000) // long oblivious computation: T2 in Figure 1
+		})
+		var lockers []rfdet.ThreadID
+		for i := 0; i < 3; i++ {
+			lockers = append(lockers, t.Spawn(func(t rfdet.Thread) {
+				for k := 0; k < 50; k++ {
+					t.Lock(mu)
+					t.Store64(ctr, t.Load64(ctr)+1)
+					t.Unlock(mu)
+					t.Tick(100)
+				}
+			}))
+		}
+		t.Join(heavy)
+		for _, id := range lockers {
+			t.Join(id)
+		}
+		t.Observe(t.Load64(ctr))
+	}
+	for _, rt := range []rfdet.Runtime{rfdet.NewCI(), rfdet.NewRCDC(10000), rfdet.NewDThreads(), rfdet.NewCoreDet(10000)} {
+		b.Run(rt.Name(), func(b *testing.B) {
+			var vt uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Observations[0][0] != 150 {
+					b.Fatalf("counter = %d, want 150", rep.Observations[0][0])
+				}
+				vt = rep.VirtualTime
+			}
+			b.ReportMetric(float64(vt), "vtime-ns")
+		})
+	}
+}
+
+// BenchmarkQuantumSweep shows the CoreDet-style quantum-tuning dilemma the
+// paper's §2 describes: small quanta mean frequent global barriers (fence
+// overhead), large quanta mean long waits for synchronization (imbalance).
+// RFDet has no such knob because it has no barriers.
+func BenchmarkQuantumSweep(b *testing.B) {
+	// linear_regression: long synchronization-free compute, so the quantum
+	// alone decides how many global barriers the CoreDet-style runtime
+	// inserts.
+	w, err := workloads.ByName("linear_regression")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workloads.Config{Threads: 4, Size: workloads.SizeSmall}
+	for _, q := range []uint64{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("coredet-q%d", q), func(b *testing.B) {
+			runWorkloadW(b, rfdet.NewCoreDet(q), w, cfg)
+		})
+	}
+	b.Run("rfdet-ci", func(b *testing.B) {
+		runWorkloadW(b, rfdet.NewCI(), w, cfg)
+	})
+}
+
+func runWorkloadW(b *testing.B, rt rfdet.Runtime, w workloads.Workload, cfg workloads.Config) {
+	b.Helper()
+	var vt uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := rt.Run(w.Prog(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		vt = rep.VirtualTime
+	}
+	b.ReportMetric(float64(vt), "vtime-ns")
+}
+
+// BenchmarkMetadataGrowth measures the §5.4 space/time tradeoff: the
+// metadata-space high-water of a program with silent (never-acquiring)
+// threads, with and without the eager-collection annotation extension.
+func BenchmarkMetadataGrowth(b *testing.B) {
+	prog := func(t rfdet.Thread) {
+		buf := t.Malloc(64 * 1024)
+		mu := rfdet.Addr(64)
+		chatty := t.Spawn(func(t rfdet.Thread) {
+			for round := 0; round < 40; round++ {
+				t.Lock(mu)
+				for i := 0; i < 512; i++ {
+					t.Store64(buf+rfdet.Addr(8*i), uint64(round+i))
+				}
+				t.Unlock(mu)
+			}
+		})
+		silent := t.Spawn(func(t rfdet.Thread) {
+			t.Tick(200000)
+		})
+		for round := 0; round < 40; round++ {
+			t.Lock(mu)
+			t.Tick(1600)
+			t.Unlock(mu)
+		}
+		t.Join(chatty)
+		t.Join(silent)
+	}
+	for _, hinted := range []bool{false, true} {
+		name := "no-hint"
+		opts := rfdet.Options{SliceMerging: true, MetadataCapacity: 128 * 1024, GCThresholdPct: 50}
+		if hinted {
+			name = "nocomm-hint"
+			opts.NoCommHint = func(tid int32) bool { return tid == 2 }
+		}
+		b.Run(name, func(b *testing.B) {
+			var hw uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rfdet.New(opts).Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hw = rep.Stats.MetadataBytes
+			}
+			b.ReportMetric(float64(hw), "metadata-bytes")
+		})
+	}
+}
+
+// BenchmarkRecordingOverhead quantifies the §2 comparison between DMT and
+// record-and-replay: an R+R system must log every synchronization operation
+// (reported as "log-bytes"), while a DMT system achieves replayability by
+// recording program inputs only — zero log bytes per run.
+func BenchmarkRecordingOverhead(b *testing.B) {
+	for _, name := range []string{"ocean", "water-ns", "dedup", "ferret"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := workloads.Config{Threads: 4, Size: benchSize}
+		b.Run(name+"/pthreads-record", func(b *testing.B) {
+			rec := replay.NewRecorder()
+			var bytes uint64
+			for i := 0; i < b.N; i++ {
+				_, log, err := rec.Record(w.Prog(cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = log.Bytes()
+			}
+			b.ReportMetric(float64(bytes), "log-bytes")
+		})
+		b.Run(name+"/rfdet-ci", func(b *testing.B) {
+			rt := rfdet.NewCI()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Run(w.Prog(cfg)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(0, "log-bytes") // inputs only (§2)
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Command rfdet-bench regenerates the paper's evaluation artifacts:
+//
+//	rfdet-bench figure7   execution time normalized to pthreads (Figure 7)
+//	rfdet-bench table1    per-benchmark profiling data (Table 1)
+//	rfdet-bench figure8   scalability, 2→4→8 threads (Figure 8)
+//	rfdet-bench figure9   prelock / lazy-writes optimization study (Figure 9)
+//	rfdet-bench racey     the §5.1 determinism stress test
+//	rfdet-bench litmus    the DLRC memory-model litmus table (§3)
+//	rfdet-bench all       everything, in paper order
+//
+// Flags select the problem size (-size test|small|medium), the thread count
+// (-threads), measurement repeats (-repeats) and racey run count (-runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfdet/internal/harness"
+	"rfdet/internal/workloads"
+)
+
+func main() {
+	size := flag.String("size", "small", "problem size: test, small or medium")
+	threads := flag.Int("threads", 4, "worker thread count for figure7/table1/figure9")
+	repeats := flag.Int("repeats", 1, "measurement repeats (median of virtual times)")
+	runs := flag.Int("runs", 20, "racey executions per configuration")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|figure8|figure9|racey|litmus|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sz workloads.Size
+	switch *size {
+	case "test":
+		sz = workloads.SizeTest
+	case "small":
+		sz = workloads.SizeSmall
+	case "medium":
+		sz = workloads.SizeMedium
+	default:
+		fmt.Fprintf(os.Stderr, "rfdet-bench: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	var err error
+	switch flag.Arg(0) {
+	case "figure7":
+		err = harness.Figure7(os.Stdout, sz, *threads, *repeats)
+	case "table1":
+		err = harness.Table1(os.Stdout, sz, *threads)
+	case "figure8":
+		err = harness.Figure8(os.Stdout, sz, *repeats)
+	case "figure9":
+		err = harness.Figure9(os.Stdout, sz, *threads, *repeats)
+	case "racey":
+		err = harness.RaceyCheck(os.Stdout, sz, *runs)
+	case "litmus":
+		err = harness.LitmusTable(os.Stdout, *runs)
+	case "all":
+		err = harness.AllExperiments(os.Stdout, sz, *threads, *repeats, *runs)
+	default:
+		fmt.Fprintf(os.Stderr, "rfdet-bench: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfdet-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Bank: reproducible debugging of a concurrency bug.
+//
+// A classic scenario from the paper's motivation (§1): a bank with
+// lock-protected accounts plus one buggy, unsynchronized audit counter.
+// Under pthreads the corruption of the audit counter depends on the
+// scheduler — the bug may vanish when you try to reproduce it. Under RFDet
+// the exact same corrupted value appears on every run, so the bug is
+// debuggable, and the program behaves identically in testing and production.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfdet"
+)
+
+const (
+	accounts  = 16
+	transfers = 200
+	tellers   = 4
+)
+
+func bank(t rfdet.Thread) {
+	balances := t.Malloc(8 * accounts)
+	audit := t.Malloc(8) // BUG: updated without a lock
+	lockBase := rfdet.Addr(1 << 12)
+	lockFor := func(acct uint64) rfdet.Addr { return lockBase + rfdet.Addr(8*acct) }
+
+	for i := 0; i < accounts; i++ {
+		t.Store64(balances+rfdet.Addr(8*i), 1000)
+	}
+
+	var ids []rfdet.ThreadID
+	for w := 0; w < tellers; w++ {
+		seed := uint64(w + 1)
+		ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+			r := seed
+			next := func() uint64 {
+				r ^= r << 13
+				r ^= r >> 7
+				r ^= r << 17
+				return r
+			}
+			for k := 0; k < transfers; k++ {
+				from := next() % accounts
+				to := next() % accounts
+				if from == to {
+					continue
+				}
+				amount := next() % 50
+				// Lock ordering by account index prevents deadlock.
+				lo, hi := from, to
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				t.Lock(lockFor(lo))
+				t.Lock(lockFor(hi))
+				fb := t.Load64(balances + rfdet.Addr(8*from))
+				if fb >= amount {
+					t.Store64(balances+rfdet.Addr(8*from), fb-amount)
+					tb := t.Load64(balances + rfdet.Addr(8*to))
+					t.Store64(balances+rfdet.Addr(8*to), tb+amount)
+				}
+				t.Unlock(lockFor(hi))
+				t.Unlock(lockFor(lo))
+				// The bug: a racy read-modify-write of the audit counter.
+				t.Store64(audit, t.Load64(audit)+1)
+			}
+		}))
+	}
+	for _, id := range ids {
+		t.Join(id)
+	}
+
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += t.Load64(balances + rfdet.Addr(8*i))
+	}
+	t.Observe(total, t.Load64(audit))
+}
+
+func main() {
+	fmt.Println("bank with a racy audit counter — three runs per runtime:")
+	for _, rt := range []rfdet.Runtime{rfdet.NewPThreads(), rfdet.NewCI()} {
+		fmt.Printf("\n%s:\n", rt.Name())
+		seen := map[uint64]bool{}
+		for i := 0; i < 3; i++ {
+			rep, err := rt.Run(bank)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obs := rep.Observations[0]
+			fmt.Printf("  run %d: total-balance=%d audit=%d (expected audit ≤ %d)\n",
+				i+1, obs[0], obs[1], tellers*transfers)
+			seen[rep.OutputHash] = true
+		}
+		if len(seen) == 1 {
+			fmt.Println("  → identical every time: the lost-update bug is reproducible")
+		} else {
+			fmt.Printf("  → %d distinct outcomes: good luck debugging that\n", len(seen))
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Lockfree: ad hoc synchronization through the §4.6 atomics extension.
+//
+// The paper's RFDet does not support ad hoc synchronization through plain
+// loads and stores: a spin-wait on a shared flag deadlocks, because DLRC
+// keeps the writer's store invisible until a happens-before edge exists —
+// and a plain store creates none. §4.6 sketches the remedy the authors
+// leave as future work: an interface of low-level atomic operations that
+// the runtime orders with Kendo and propagates as acquire+release.
+//
+// This example shows both halves:
+//
+//  1. a Treiber-style lock-free stack and a seqlock-style published counter
+//     built entirely from AtomicCAS64/AtomicAdd64, running deterministically;
+//
+//  2. what the paper means by "programs using ad hoc synchronization may be
+//     incorrect": the same flag-based handoff written with plain stores is
+//     run under a watchdog and shown to deadlock deterministically.
+//
+//     go run ./examples/lockfree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfdet"
+)
+
+// lockFreeStack pushes 3×100 nodes through a Treiber stack (head pointer
+// updated by CAS; nodes are (value, next) pairs in shared memory), then pops
+// everything single-threadedly and folds the multiset.
+func lockFreeStack(t rfdet.Thread) {
+	head := t.Malloc(8) // points to the top node (0 = empty)
+	var ids []rfdet.ThreadID
+	for w := 0; w < 3; w++ {
+		me := uint64(w + 1)
+		ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+			for i := 0; i < 100; i++ {
+				node := t.Malloc(16)
+				t.Store64(node, me*1000+uint64(i)) // value
+				for {
+					old := t.Load64(head)
+					t.Store64(node+8, old) // next
+					if t.AtomicCAS64(head, old, uint64(node)) {
+						break
+					}
+					t.Tick(5) // contention backoff
+				}
+			}
+		}))
+	}
+	for _, id := range ids {
+		t.Join(id)
+	}
+	var fold, count uint64
+	for p := t.Load64(head); p != 0; p = t.Load64(rfdet.Addr(p) + 8) {
+		fold += t.Load64(rfdet.Addr(p)) * 31
+		count++
+	}
+	t.Observe(fold, count)
+}
+
+// adHocHandoff is the unsupported pattern (§4.6): a producer publishes data
+// and raises a plain flag; a consumer spins on the flag. Under DLRC the
+// consumer never sees the flag — the deadlock detector (or a bounded spin)
+// reports it deterministically.
+func adHocHandoff(t rfdet.Thread) {
+	flag := t.Malloc(8)
+	data := t.Malloc(8)
+	id := t.Spawn(func(c rfdet.Thread) {
+		c.Store64(data, 4242)
+		c.Store64(flag, 1) // plain store: creates no happens-before edge
+	})
+	spins := 0
+	for t.Load64(flag) == 0 && spins < 200000 {
+		t.Tick(10)
+		spins++
+	}
+	t.Observe(t.Load64(flag), uint64(spins))
+	t.Join(id)
+}
+
+// atomicHandoff is the supported version: the flag is raised with an atomic
+// release, so the consumer's atomic read acquires the producer's data too.
+func atomicHandoff(t rfdet.Thread) {
+	flag := t.Malloc(8)
+	data := t.Malloc(8)
+	id := t.Spawn(func(c rfdet.Thread) {
+		c.Store64(data, 4242)
+		c.AtomicAdd64(flag, 1) // release: publishes data with it
+	})
+	for t.AtomicAdd64(flag, 0) == 0 {
+		t.Tick(10)
+	}
+	t.Observe(t.Load64(data))
+	t.Join(id)
+}
+
+func main() {
+	rt := rfdet.NewCI()
+
+	fmt.Println("Treiber stack on the §4.6 atomics extension (3 runs):")
+	var first uint64
+	for i := 0; i < 3; i++ {
+		rep, err := rt.Run(lockFreeStack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs := rep.Observations[0]
+		fmt.Printf("  run %d: fold=%#x nodes=%d hash=%#016x\n", i+1, obs[0], obs[1], rep.OutputHash)
+		if obs[1] != 300 {
+			log.Fatalf("lost nodes: %d", obs[1])
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			log.Fatal("nondeterministic lock-free stack")
+		}
+	}
+
+	fmt.Println("\nad hoc flag handoff with PLAIN stores (unsupported, §4.6):")
+	rep, err := rt.Run(adHocHandoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := rep.Observations[0]
+	fmt.Printf("  consumer saw flag=%d after %d spins — the store never became visible\n", obs[0], obs[1])
+
+	fmt.Println("\nthe same handoff with the atomics extension:")
+	rep, err = rt.Run(atomicHandoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  consumer read data=%d — the atomic release published it\n", rep.Observations[0][0])
+}

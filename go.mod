@@ -1,0 +1,3 @@
+module rfdet
+
+go 1.22

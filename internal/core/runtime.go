@@ -1,0 +1,443 @@
+// Package core implements RFDet, the paper's deterministic multithreading
+// runtime based on deterministic lazy release consistency (DLRC).
+//
+// Each logical thread runs in a private simulated address space (substituting
+// for the paper's clone()-separated processes, see internal/mem). The Kendo
+// algorithm (internal/kendo) imposes a deterministic total order on
+// synchronization operations; execution between synchronization operations is
+// cut into slices whose byte-granularity modifications are exchanged
+// according to the happens-before relation, tracked with vector clocks
+// (§3, §4). No global barriers are ever used: a thread that does not
+// synchronize never blocks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"rfdet/internal/alloc"
+	"rfdet/internal/api"
+	"rfdet/internal/kendo"
+	"rfdet/internal/mem"
+	"rfdet/internal/slicestore"
+	"rfdet/internal/vclock"
+	"rfdet/internal/vtime"
+)
+
+// Monitor selects how memory modifications are detected within a slice
+// (§4.2): compile-time-instrumentation style (RFDet-ci) or page-protection
+// style (RFDet-pf).
+type Monitor int
+
+const (
+	// MonitorCI checks a per-slice page set on every store (the paper's
+	// compile-time store instrumentation, Figure 4). This is the faster
+	// monitor (RFDet-ci).
+	MonitorCI Monitor = iota
+	// MonitorPF write-protects the whole address space at each slice start
+	// and snapshots pages in the protection-fault handler (RFDet-pf, the
+	// approach DThreads takes). Slower for sync-heavy programs because of
+	// the per-slice mprotect sweep and fault costs.
+	MonitorPF
+)
+
+func (m Monitor) String() string {
+	if m == MonitorPF {
+		return "pf"
+	}
+	return "ci"
+}
+
+// Options configure an RFDet runtime.
+type Options struct {
+	// Monitor selects the modification monitor (default MonitorCI).
+	Monitor Monitor
+	// SliceMerging enables the slice-merging optimization (§4.5): an
+	// acquire of a variable last released by the same thread does not end
+	// the current slice.
+	SliceMerging bool
+	// Prelock enables the prelock optimization (§4.5): a thread blocked on
+	// a held lock pre-propagates updates that must happen-before its
+	// eventual acquire, in parallel with the holder's critical section.
+	Prelock bool
+	// LazyWrites enables the lazy-writes optimization (§4.5): propagated
+	// modifications are pended per page and applied on first access.
+	LazyWrites bool
+	// MetadataCapacity is the metadata-space size in bytes
+	// (default 256 MiB as in §5.4).
+	MetadataCapacity uint64
+	// GCThresholdPct triggers slice garbage collection at this metadata
+	// usage percentage (default 90 as in §5.4).
+	GCThresholdPct int
+	// NoCommHint implements the eager-collection extension sketched at the
+	// end of §5.4: it names threads that the programmer asserts never
+	// communicate through shared memory after their creation (pure fork/
+	// join workers, e.g. linear_regression's mappers). Hinted threads skip
+	// slice creation entirely except for their final exit slice (which the
+	// join still needs), bounding the metadata growth that §5.4 identifies
+	// as RFDet's pathological case. If the assertion is wrong — a hinted
+	// thread's updates are acquired before its exit — the acquirer misses
+	// them, exactly the caveat the paper attaches to the idea; the result
+	// is still deterministic.
+	NoCommHint func(tid int32) bool
+	// Validate enables the post-execution DLRC invariant checker (tests).
+	Validate bool
+	// Trace records every synchronization operation in deterministic
+	// admission order; fetch it with RunTraced.
+	Trace bool
+}
+
+// DefaultOptions returns the configuration used for the paper's headline
+// numbers: the CI monitor with every optimization enabled.
+func DefaultOptions() Options {
+	return Options{
+		Monitor:      MonitorCI,
+		SliceMerging: true,
+		Prelock:      true,
+		LazyWrites:   true,
+	}
+}
+
+// Runtime is an RFDet deterministic multithreading runtime. It satisfies
+// api.Runtime; each Run call is an independent deterministic execution.
+type Runtime struct {
+	opts Options
+}
+
+// New returns an RFDet runtime with the given options.
+func New(opts Options) *Runtime { return &Runtime{opts: opts} }
+
+// Name returns "rfdet-ci" or "rfdet-pf".
+func (r *Runtime) Name() string { return "rfdet-" + r.opts.Monitor.String() }
+
+// Options returns the runtime's configuration.
+func (r *Runtime) Options() Options { return r.opts }
+
+// errAborted unwinds thread goroutines when an execution fails.
+var errAborted = errors.New("rfdet: execution aborted")
+
+// exec is the state of one program execution: the paper's metadata space
+// (synchronization variables, the slice store, the shared allocator) plus
+// the thread table and the Kendo arbiter. Fields below mu form the monitor:
+// they may only be touched while holding mu, which a thread takes only after
+// winning the deterministic turn, so every access sequence is deterministic.
+type exec struct {
+	opts   Options
+	sched  *kendo.Sched
+	alloc  *alloc.Allocator
+	store  *slicestore.Store
+	tracer *tracer
+
+	mu           sync.Mutex
+	threads      []*thread
+	syncvars     map[api.Addr]*syncVar
+	liveCount    int
+	blockedCount int
+	maxLive      int
+	aborted      bool
+	abortErr     error
+
+	wg sync.WaitGroup
+}
+
+// syncVar is an internal synchronization variable (§4.1): the runtime-side
+// object backing the application mutex/condvar/barrier at one address.
+type syncVar struct {
+	// Mutex state.
+	held  bool
+	owner api.ThreadID
+	lockQ []api.ThreadID
+	// Release record: who last released the variable and when (§4.1,
+	// lastTid/lastTime), plus the release's virtual time.
+	lastTid  int32
+	lastTime vclock.VC
+	lastVT   vtime.Time
+	// Condition-variable wait queue, in deterministic wait order.
+	condQ []condEntry
+	// Barrier arrivals for the current generation.
+	barArrivals []barArrival
+}
+
+type condEntry struct {
+	tid   api.ThreadID
+	mutex api.Addr
+}
+
+type barArrival struct {
+	tid api.ThreadID
+	v   vclock.VC
+	vt  vtime.Time
+}
+
+// wakeEvent resumes a blocked thread.
+type wakeEvent struct {
+	abort bool
+	// vt is the waker's virtual time: the blocked thread resumes no
+	// earlier than this.
+	vt vtime.Time
+}
+
+// signalRecord carries the release information of a cond signal to the
+// waiter it woke (§4.1: propagation at the wakeup's acquire side).
+type signalRecord struct {
+	tid int32
+	v   vclock.VC
+	vt  vtime.Time
+}
+
+func newExec(opts Options) *exec {
+	if opts.MetadataCapacity == 0 {
+		opts.MetadataCapacity = slicestore.DefaultCapacity
+	}
+	return &exec{
+		opts:     opts,
+		sched:    kendo.NewSched(),
+		alloc:    alloc.New(),
+		store:    slicestore.NewStore(opts.MetadataCapacity, opts.GCThresholdPct),
+		syncvars: make(map[api.Addr]*syncVar),
+	}
+}
+
+func (e *exec) syncvar(a api.Addr) *syncVar {
+	sv, ok := e.syncvars[a]
+	if !ok {
+		sv = &syncVar{owner: -1, lastTid: -1}
+		e.syncvars[a] = sv
+	}
+	return sv
+}
+
+// Run executes main as thread 0 and returns the deterministic report.
+func (r *Runtime) Run(main api.ThreadFunc) (*api.Report, error) {
+	rep, _, err := r.RunTraced(main)
+	return rep, err
+}
+
+// RunTraced is Run plus the deterministic synchronization trace (nil unless
+// Options.Trace is set). The trace must be byte-identical across runs of
+// the same program — the event-level form of the determinism guarantee.
+func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
+	e := newExec(r.opts)
+	if r.opts.Trace {
+		e.tracer = &tracer{}
+	}
+	t0 := &thread{
+		exec: e,
+		id:   0,
+		fn:   main,
+		// The main thread does not monitor modifications until the first
+		// child thread is created (§4.1): before that, no other memory
+		// space exists to propagate to, and the first child inherits the
+		// parent memory through the clone.
+		monitoring: false,
+		space:      mem.NewSpace(),
+		vtime:      vclock.New(1).Set(0, 1),
+		wake:       make(chan wakeEvent, 1),
+	}
+	t0.space.SetFaultHandler(t0.onFault)
+	t0.proc = e.sched.Register(0, 0)
+	e.alloc.Register(0)
+	e.threads = append(e.threads, t0)
+	e.liveCount, e.maxLive = 1, 1
+
+	start := time.Now()
+	e.wg.Add(1)
+	go e.runThread(t0)
+	e.wg.Wait()
+	elapsed := time.Since(start)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.abortErr != nil {
+		return nil, nil, e.abortErr
+	}
+	if r.opts.Validate {
+		if err := e.validateLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	var tr *Trace
+	if e.tracer != nil {
+		tr = e.tracer.render()
+	}
+	return e.buildReportLocked(elapsed), tr, nil
+}
+
+// runThread is the goroutine body hosting one logical thread.
+func (e *exec) runThread(t *thread) {
+	defer e.wg.Done()
+	defer func() {
+		r := recover()
+		if r != nil && r != errAborted { //nolint:errorlint // sentinel identity
+			e.fail(fmt.Errorf("rfdet: thread %d panicked: %v", t.id, r))
+		}
+		e.threadExit(t, r != nil)
+	}()
+	e.mu.Lock()
+	t.beginSliceLocked()
+	e.mu.Unlock()
+	t.fn(t)
+}
+
+// threadExit performs the thread's final release: it ends the last slice,
+// records the exit timestamp and wakes joiners (§4.1, thread exit).
+func (e *exec) threadExit(t *thread, abnormal bool) {
+	if !abnormal && !e.sched.Aborted() {
+		// Exit is a synchronization (release) operation: take the turn so
+		// the exit point is deterministic.
+		if ok, waited := e.sched.WaitForTurn(t.proc); ok {
+			if waited {
+				t.st.TurnWaits++
+			}
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aborted {
+		t.flushAllPending()
+		t.exitV = t.endSliceLocked()
+	} else {
+		t.exitV = t.vtime.Clone()
+	}
+	t.exitVT = t.vt
+	t.proc.SetStatus(kendo.Exited)
+	e.liveCount--
+	for _, j := range t.joiners {
+		e.wakeLocked(j, wakeEvent{vt: t.vt})
+	}
+	t.joiners = nil
+	if !e.aborted && e.liveCount > 0 && e.blockedCount == e.liveCount {
+		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked", e.liveCount))
+	}
+}
+
+// fail aborts the execution with err (first error wins).
+func (e *exec) fail(err error) {
+	e.mu.Lock()
+	e.failLocked(err)
+	e.mu.Unlock()
+}
+
+// failLocked aborts under the monitor: it records the error, aborts the
+// Kendo arbiter so spinners unwind, and wakes every blocked thread with an
+// abort event.
+func (e *exec) failLocked(err error) {
+	if e.aborted {
+		return
+	}
+	e.aborted = true
+	e.abortErr = err
+	e.sched.Abort()
+	for _, t := range e.threads {
+		if t.proc.Status() == kendo.Blocked {
+			select {
+			case t.wake <- wakeEvent{abort: true}:
+			default:
+			}
+		}
+	}
+}
+
+// wakeLocked resumes a blocked thread with the given event.
+func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
+	t.proc.SetStatus(kendo.Running)
+	e.blockedCount--
+	t.wake <- ev
+}
+
+// blockLocked marks the calling thread blocked (recording the block site for
+// deadlock diagnostics) and checks for deadlock.
+func (t *thread) blockLocked(site string) {
+	e := t.exec
+	t.blockedOn = site
+	t.proc.SetStatus(kendo.Blocked)
+	e.blockedCount++
+	if e.blockedCount == e.liveCount {
+		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked: %s", e.liveCount, e.blockSitesLocked()))
+	}
+}
+
+// blockSitesLocked describes where each blocked thread is stuck.
+func (e *exec) blockSitesLocked() string {
+	s := ""
+	for _, t := range e.threads {
+		if t.proc.Status() == kendo.Blocked {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("thread %d: %s", t.id, t.blockedOn)
+		}
+	}
+	return s
+}
+
+// sleep parks the thread until a wake event arrives.
+func (t *thread) sleep() wakeEvent {
+	ev := <-t.wake
+	if ev.abort {
+		panic(errAborted)
+	}
+	return ev
+}
+
+// buildReportLocked assembles the execution report.
+func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
+	rep := &api.Report{
+		Observations: make(map[api.ThreadID][]uint64, len(e.threads)),
+		Elapsed:      elapsed,
+		Threads:      len(e.threads),
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, t := range e.threads {
+		rep.Stats.Add(&t.st)
+		rep.Observations[t.id] = t.obs
+		put(uint64(t.id))
+		put(uint64(len(t.obs)))
+		for _, v := range t.obs {
+			put(v)
+		}
+		if t.exitVT > vtime.Time(rep.VirtualTime) {
+			rep.VirtualTime = uint64(t.exitVT)
+		}
+	}
+	put(e.threads[0].space.Hash())
+	rep.OutputHash = h.Sum64()
+
+	rep.Stats.SharedMemBytes = e.alloc.HighWater()
+	rep.Stats.MetadataBytes = e.store.HighWater()
+	rep.Stats.MetadataCapacity = e.store.Capacity()
+	rep.Stats.GCCount = e.store.GCCount()
+	rep.Stats.RuntimeMemBytes = uint64(e.maxLive)*e.alloc.HighWater() + e.store.HighWater()
+	return rep
+}
+
+// gcLocked garbage-collects slices that every live thread has merged
+// (§4.5): the frontier is the meet of all live threads' vector clocks.
+//
+// Threads hinted as never-communicating (Options.NoCommHint, the §5.4
+// eager-collection extension) are excluded from the frontier: since they
+// never acquire, their stale clocks must not pin other threads' slices in
+// the metadata space.
+func (e *exec) gcLocked() {
+	var clocks []vclock.VC
+	for _, t := range e.threads {
+		if t.proc.Status() != kendo.Exited && !t.noComm {
+			clocks = append(clocks, t.vtime)
+		}
+	}
+	frontier := vclock.MeetAll(clocks)
+	e.store.Collect(frontier)
+	for _, t := range e.threads {
+		t.slicePtrs = slicestore.TrimList(t.slicePtrs, frontier)
+	}
+}

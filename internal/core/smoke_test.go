@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+// run executes fn under the given options, failing the test on error.
+func run(t *testing.T, opts Options, fn api.ThreadFunc) *api.Report {
+	t.Helper()
+	rep, err := New(opts).Run(fn)
+	if err != nil {
+		t.Fatalf("Run failed: %v", err)
+	}
+	return rep
+}
+
+// allConfigs exercises the monitor × optimization matrix.
+func allConfigs() []Options {
+	return []Options{
+		{},
+		{Monitor: MonitorPF},
+		{SliceMerging: true},
+		{Prelock: true},
+		{LazyWrites: true},
+		DefaultOptions(),
+		{Monitor: MonitorPF, SliceMerging: true, Prelock: true, LazyWrites: true},
+	}
+}
+
+func TestSingleThread(t *testing.T) {
+	rep := run(t, DefaultOptions(), func(th api.Thread) {
+		a := th.Malloc(64)
+		th.Store64(a, 42)
+		th.Store32(a+8, 7)
+		th.Store8(a+12, 9)
+		th.Observe(th.Load64(a), uint64(th.Load32(a+8)), uint64(th.Load8(a+12)))
+	})
+	obs := rep.Observations[0]
+	if len(obs) != 3 || obs[0] != 42 || obs[1] != 7 || obs[2] != 9 {
+		t.Fatalf("unexpected observations: %v", obs)
+	}
+}
+
+func TestSpawnJoinPropagatesChildWrites(t *testing.T) {
+	for _, opts := range allConfigs() {
+		rep := run(t, opts, func(th api.Thread) {
+			a := th.Malloc(8)
+			id := th.Spawn(func(c api.Thread) {
+				c.Store64(a, 1234)
+			})
+			th.Join(id)
+			th.Observe(th.Load64(a))
+		})
+		if got := rep.Observations[0][0]; got != 1234 {
+			t.Fatalf("opts %+v: parent read %d, want 1234", opts, got)
+		}
+	}
+}
+
+func TestLockPropagation(t *testing.T) {
+	// A classic handoff: the child publishes under a lock; the parent
+	// spins acquiring the lock until it sees the flag, then reads the data.
+	for _, opts := range allConfigs() {
+		rep := run(t, opts, func(th api.Thread) {
+			data := th.Malloc(8)
+			flag := th.Malloc(8)
+			mu := api.Addr(128)
+			id := th.Spawn(func(c api.Thread) {
+				c.Lock(mu)
+				c.Store64(data, 99)
+				c.Store64(flag, 1)
+				c.Unlock(mu)
+			})
+			for {
+				th.Lock(mu)
+				f := th.Load64(flag)
+				th.Unlock(mu)
+				if f == 1 {
+					break
+				}
+				th.Tick(10)
+			}
+			th.Observe(th.Load64(data))
+			th.Join(id)
+		})
+		if got := rep.Observations[0][0]; got != 99 {
+			t.Fatalf("opts %+v: read %d, want 99", opts, got)
+		}
+	}
+}
+
+func TestDeterministicOutputAcrossRuns(t *testing.T) {
+	prog := func(th api.Thread) {
+		arr := th.Malloc(8 * 64)
+		mu := api.Addr(256)
+		var ids []api.ThreadID
+		for w := 0; w < 4; w++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				me := uint64(c.ID())
+				for i := 0; i < 64; i++ {
+					// Racy writes: every thread writes every slot.
+					cur := c.Load64(arr + api.Addr(8*i))
+					c.Store64(arr+api.Addr(8*i), cur*31+me+uint64(i))
+					if i%16 == 0 {
+						c.Lock(mu)
+						c.Store64(arr, c.Load64(arr)+me)
+						c.Unlock(mu)
+					}
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		var sum uint64
+		for i := 0; i < 64; i++ {
+			sum += th.Load64(arr + api.Addr(8*i))
+		}
+		th.Observe(sum)
+	}
+	for _, opts := range allConfigs() {
+		var first uint64
+		for i := 0; i < 3; i++ {
+			rep := run(t, opts, prog)
+			if i == 0 {
+				first = rep.OutputHash
+			} else if rep.OutputHash != first {
+				t.Fatalf("opts %+v: run %d hash %#x != first %#x", opts, i, rep.OutputHash, first)
+			}
+		}
+	}
+}
+
+func TestCondVarPingPong(t *testing.T) {
+	for _, opts := range allConfigs() {
+		rep := run(t, opts, func(th api.Thread) {
+			state := th.Malloc(8) // 0 = ping's turn, 1 = pong's turn
+			count := th.Malloc(8)
+			mu := api.Addr(512)
+			cond := api.Addr(520)
+			const rounds = 10
+			id := th.Spawn(func(c api.Thread) {
+				for i := 0; i < rounds; i++ {
+					c.Lock(mu)
+					for c.Load64(state) != 1 {
+						c.Wait(cond, mu)
+					}
+					c.Store64(count, c.Load64(count)+1)
+					c.Store64(state, 0)
+					c.Signal(cond)
+					c.Unlock(mu)
+				}
+			})
+			for i := 0; i < rounds; i++ {
+				th.Lock(mu)
+				for th.Load64(state) != 0 {
+					th.Wait(cond, mu)
+				}
+				th.Store64(count, th.Load64(count)+1)
+				th.Store64(state, 1)
+				th.Signal(cond)
+				th.Unlock(mu)
+			}
+			th.Join(id)
+			th.Observe(th.Load64(count))
+		})
+		if got := rep.Observations[0][0]; got != 20 {
+			t.Fatalf("opts %+v: count %d, want 20", opts, got)
+		}
+	}
+}
+
+func TestBarrierMergesAllWrites(t *testing.T) {
+	for _, opts := range allConfigs() {
+		rep := run(t, opts, func(th api.Thread) {
+			arr := th.Malloc(8 * 4)
+			bar := api.Addr(1024)
+			const n = 4
+			var ids []api.ThreadID
+			for w := 1; w < n; w++ {
+				slot := api.Addr(8 * w)
+				ids = append(ids, th.Spawn(func(c api.Thread) {
+					c.Store64(arr+slot, uint64(c.ID())*100)
+					c.Barrier(bar, n)
+					// After the barrier every thread sees every write.
+					var sum uint64
+					for i := 0; i < n; i++ {
+						sum += c.Load64(arr + api.Addr(8*i))
+					}
+					c.Observe(sum)
+				}))
+			}
+			th.Store64(arr, 7)
+			th.Barrier(bar, n)
+			var sum uint64
+			for i := 0; i < n; i++ {
+				sum += th.Load64(arr + api.Addr(8*i))
+			}
+			th.Observe(sum)
+			for _, id := range ids {
+				th.Join(id)
+			}
+		})
+		want := uint64(7 + 100 + 200 + 300)
+		for tid, obs := range rep.Observations {
+			if len(obs) != 1 || obs[0] != want {
+				t.Fatalf("opts %+v: thread %d observed %v, want [%d]", opts, tid, obs, want)
+			}
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := New(DefaultOptions()).Run(func(th api.Thread) {
+		mu1, mu2 := api.Addr(64), api.Addr(128)
+		id := th.Spawn(func(c api.Thread) {
+			c.Lock(mu2)
+			c.Tick(1000)
+			c.Lock(mu1)
+			c.Unlock(mu1)
+			c.Unlock(mu2)
+		})
+		th.Lock(mu1)
+		th.Tick(1000)
+		th.Lock(mu2)
+		th.Unlock(mu2)
+		th.Unlock(mu1)
+		th.Join(id)
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestUnlockNotHeldFails(t *testing.T) {
+	_, err := New(DefaultOptions()).Run(func(th api.Thread) {
+		th.Unlock(api.Addr(64))
+	})
+	if err == nil {
+		t.Fatal("expected misuse error, got nil")
+	}
+}
+
+func TestAtomicsDeterministic(t *testing.T) {
+	prog := func(th api.Thread) {
+		ctr := th.Malloc(8)
+		var ids []api.ThreadID
+		for w := 0; w < 4; w++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for i := 0; i < 50; i++ {
+					c.AtomicAdd64(ctr, 1)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(ctr))
+	}
+	rep := run(t, DefaultOptions(), prog)
+	if got := rep.Observations[0][0]; got != 200 {
+		t.Fatalf("atomic counter = %d, want 200", got)
+	}
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rfdet/internal/api"
+	"rfdet/internal/kendo"
+	"rfdet/internal/mem"
+	"rfdet/internal/slicestore"
+	"rfdet/internal/vclock"
+	"rfdet/internal/vtime"
+)
+
+// turn waits for the deterministic Kendo turn before a synchronization
+// operation (§4.1). It panics with errAborted if the execution failed.
+func (t *thread) turn() {
+	ok, waited := t.exec.sched.WaitForTurn(t.proc)
+	if waited {
+		t.st.TurnWaits++
+	}
+	if !ok {
+		panic(errAborted)
+	}
+	t.vt += vtime.SyncBase
+}
+
+// finishOpLocked advances the Kendo clock past the synchronization operation
+// itself. This must happen only after the operation's monitor work is done:
+// bumping earlier could make another thread eligible and let it contend for
+// the monitor nondeterministically.
+func (t *thread) finishOpLocked() {
+	t.proc.Tick(2)
+}
+
+// Lock implements pthread_mutex_lock (§4.1).
+func (t *thread) Lock(m api.Addr) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Locks++
+	sv := e.syncvar(m)
+
+	if sv.held {
+		if sv.owner == t.id {
+			e.failLocked(fmt.Errorf("rfdet: thread %d: recursive lock of mutex %#x", t.id, uint64(m)))
+			e.mu.Unlock()
+			panic(errAborted)
+		}
+		// Contended: end the slice, reserve our place in the deterministic
+		// grant queue, pre-merge (prelock, §4.5), and sleep.
+		t.endSliceLocked()
+		sv.lockQ = append(sv.lockQ, t.id)
+		t.prelockLocked(sv)
+		t.blockLocked(fmt.Sprintf("lock %#x", uint64(m)))
+		t.finishOpLocked()
+		e.mu.Unlock()
+
+		ev := t.sleep() // the releaser hands us ownership
+		e.mu.Lock()
+		t.vt = vtime.Max(t.vt, ev.vt) + vtime.LockHandoff
+		t.acquireLocked(sv)
+		t.beginSliceLocked()
+		e.tracer.record(t, "lock", m)
+		e.mu.Unlock()
+		return
+	}
+
+	sv.held = true
+	sv.owner = t.id
+	if e.opts.SliceMerging && sv.lastTid == int32(t.id) {
+		// Slice merging (§4.5): the last release of this variable was ours,
+		// so no remote updates can be pending and the current slice may
+		// simply continue across the acquire.
+		t.st.SlicesMerged++
+		e.tracer.record(t, "lock*", m)
+		t.finishOpLocked()
+		e.mu.Unlock()
+		return
+	}
+	t.endSliceLocked()
+	t.acquireLocked(sv)
+	t.beginSliceLocked()
+	e.tracer.record(t, "lock", m)
+	t.finishOpLocked()
+	e.mu.Unlock()
+}
+
+// Unlock implements pthread_mutex_unlock (§4.1): a release that records
+// lastTid/lastTime before the variable is handed over.
+func (t *thread) Unlock(m api.Addr) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Unlocks++
+	sv := e.syncvar(m)
+	if !sv.held || sv.owner != t.id {
+		e.failLocked(fmt.Errorf("rfdet: thread %d: unlock of mutex %#x not held by it", t.id, uint64(m)))
+		e.mu.Unlock()
+		panic(errAborted)
+	}
+	tend := t.endSliceLocked()
+	t.releaseLocked(sv, tend)
+	if len(sv.lockQ) > 0 {
+		next := sv.lockQ[0]
+		sv.lockQ = sv.lockQ[1:]
+		sv.owner = next
+		// The remaining waiters pre-merge this release in parallel with the
+		// new holder's critical section (prelock, §4.5).
+		e.prelockReleaseLocked(sv, t)
+		e.wakeLocked(e.threads[next], wakeEvent{vt: t.vt})
+	} else {
+		sv.held = false
+		sv.owner = -1
+	}
+	t.beginSliceLocked()
+	e.tracer.record(t, "unlock", m)
+	t.finishOpLocked()
+	e.mu.Unlock()
+}
+
+// releaseLocked records this thread as the variable's last releaser, with
+// the just-ended slice's timestamp as the release time.
+func (t *thread) releaseLocked(sv *syncVar, tend vclock.VC) {
+	sv.lastTid = int32(t.id)
+	sv.lastTime = tend
+	sv.lastVT = t.vt
+}
+
+// Wait implements pthread_cond_wait: a release of the mutex and of the wait
+// itself, then (after the signal) an acquire of both the signaler's release
+// and the mutex (§4.1).
+func (t *thread) Wait(c, m api.Addr) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Waits++
+	svm := e.syncvar(m)
+	if !svm.held || svm.owner != t.id {
+		e.failLocked(fmt.Errorf("rfdet: thread %d: cond wait with mutex %#x not held", t.id, uint64(m)))
+		e.mu.Unlock()
+		panic(errAborted)
+	}
+	tend := t.endSliceLocked()
+	// Release the mutex.
+	t.releaseLocked(svm, tend)
+	if len(svm.lockQ) > 0 {
+		next := svm.lockQ[0]
+		svm.lockQ = svm.lockQ[1:]
+		svm.owner = next
+		e.wakeLocked(e.threads[next], wakeEvent{vt: t.vt})
+	} else {
+		svm.held = false
+		svm.owner = -1
+	}
+	// Queue on the condition variable, in deterministic order.
+	svc := e.syncvar(c)
+	svc.condQ = append(svc.condQ, condEntry{tid: t.id, mutex: m})
+	e.tracer.record(t, "wait", c)
+	t.blockLocked(fmt.Sprintf("cond wait %#x (mutex %#x)", uint64(c), uint64(m)))
+	t.finishOpLocked()
+	e.mu.Unlock()
+
+	// We are woken only once we own the mutex again (the signaler either
+	// granted it directly or queued us on it).
+	ev := t.sleep()
+	e.mu.Lock()
+	t.vt = vtime.Max(t.vt, ev.vt) + vtime.LockHandoff
+	if sig := t.pendingSignal; sig != nil {
+		t.pendingSignal = nil
+		t.acquireFromLocked(sig.tid, sig.v, sig.vt)
+	}
+	t.acquireLocked(svm)
+	t.beginSliceLocked()
+	e.tracer.record(t, "wake", c)
+	e.mu.Unlock()
+}
+
+// Signal implements pthread_cond_signal (§4.1): a release whose timestamp
+// is delivered to the one waiter it wakes.
+func (t *thread) Signal(c api.Addr) {
+	t.signal(c, false)
+}
+
+// Broadcast implements pthread_cond_broadcast: like Signal, for all waiters,
+// woken in deterministic queue order.
+func (t *thread) Broadcast(c api.Addr) {
+	t.signal(c, true)
+}
+
+func (t *thread) signal(c api.Addr, all bool) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Signals++
+	tend := t.endSliceLocked()
+	svc := e.syncvar(c)
+	n := 1
+	if all {
+		n = len(svc.condQ)
+	}
+	for i := 0; i < n && len(svc.condQ) > 0; i++ {
+		entry := svc.condQ[0]
+		svc.condQ = svc.condQ[1:]
+		w := e.threads[entry.tid]
+		w.pendingSignal = &signalRecord{tid: int32(t.id), v: tend, vt: t.vt}
+		svm := e.syncvar(entry.mutex)
+		if svm.held {
+			svm.lockQ = append(svm.lockQ, entry.tid)
+		} else {
+			svm.held = true
+			svm.owner = entry.tid
+			e.wakeLocked(w, wakeEvent{vt: t.vt})
+		}
+	}
+	t.beginSliceLocked()
+	if all {
+		e.tracer.record(t, "broadcast", c)
+	} else {
+		e.tracer.record(t, "signal", c)
+	}
+	t.finishOpLocked()
+	e.mu.Unlock()
+}
+
+// Barrier implements a pthreads-style barrier (§4.1): both an acquire and a
+// release. The arrivals' modifications are merged into the lowest-ID
+// arrival's memory in ascending thread-ID order, and every arrival leaves
+// with a copy-on-write copy of that merged memory — exactly the paper's
+// barrier algorithm.
+func (t *thread) Barrier(b api.Addr, n int) {
+	if n <= 0 {
+		t.exec.fail(fmt.Errorf("rfdet: thread %d: barrier with count %d", t.id, n))
+		panic(errAborted)
+	}
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Barriers++
+	tend := t.endSliceLocked()
+	t.flushAllPending()
+	sv := e.syncvar(b)
+	sv.barArrivals = append(sv.barArrivals, barArrival{tid: t.id, v: tend, vt: t.vt})
+	if len(sv.barArrivals) < n {
+		t.blockLocked(fmt.Sprintf("barrier %#x (%d/%d)", uint64(b), len(sv.barArrivals), n))
+		t.finishOpLocked()
+		e.mu.Unlock()
+		ev := t.sleep()
+		e.mu.Lock()
+		t.vt = ev.vt
+		t.beginSliceLocked()
+		e.tracer.record(t, "barrier", b)
+		e.mu.Unlock()
+		return
+	}
+
+	// Last arrival: perform the merge on behalf of everyone. All other
+	// arrivals are provably blocked, so their thread state may be mutated
+	// under the monitor.
+	arrivals := sv.barArrivals
+	sv.barArrivals = nil
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].tid < arrivals[j].tid })
+
+	leader := e.threads[arrivals[0].tid]
+	leader.flushAllPending()
+	releaseVT := arrivals[0].vt
+	merged := arrivals[0].v.Clone()
+	for _, a := range arrivals[1:] {
+		releaseVT = vtime.Max(releaseVT, a.vt)
+		merged = merged.Join(a.v)
+	}
+	// Merge in ascending thread-ID order: the thread with the smallest ID
+	// merges first, so later (higher-ID) arrivals deterministically win
+	// write-write races (§4.1).
+	var mergeCost vtime.Time
+	for _, a := range arrivals[1:] {
+		from := e.threads[a.tid]
+		slices := leader.collectLocked(from, a.v, leader.vtime)
+		for _, sl := range slices {
+			leader.space.ApplyRuns(sl.Mods)
+			mergeCost += vtime.ApplyCost(uint64(len(sl.Mods)), sl.Bytes)
+			leader.st.SlicesPropagated++
+			leader.st.BytesPropagated += sl.Bytes
+		}
+		leader.slicePtrs = append(leader.slicePtrs, slices...)
+		leader.vtime = leader.vtime.Join(a.v)
+	}
+	releaseVT += vtime.FencePhase + mergeCost
+	leader.vt = vtime.Max(leader.vt, releaseVT)
+	leader.vtime = leader.vtime.Join(merged)
+
+	// Give every other arrival a copy-on-write copy of the merged memory,
+	// the leader's slice list, and the merged clock.
+	for _, a := range arrivals[1:] {
+		w := e.threads[a.tid]
+		w.space.Release()
+		w.space = leader.space.Clone()
+		w.space.SetFaultHandler(w.onFault)
+		w.slicePtrs = append(w.slicePtrs[:0], leader.slicePtrs...)
+		w.vtime = w.vtime.Join(merged)
+		w.preMerged = nil
+		for pid := range w.pending {
+			delete(w.pending, pid)
+		}
+	}
+	// Resume everyone.
+	for _, a := range arrivals {
+		if a.tid == t.id {
+			continue
+		}
+		e.wakeLocked(e.threads[a.tid], wakeEvent{vt: releaseVT})
+	}
+	t.vt = vtime.Max(t.vt, releaseVT)
+	t.beginSliceLocked()
+	e.tracer.record(t, "barrier", b)
+	t.finishOpLocked()
+	e.mu.Unlock()
+}
+
+// Spawn implements pthread_create (§4.1): a release. The child inherits the
+// parent's memory by copy-on-write cloning and the parent's slice-pointer
+// list, and gets the next deterministic thread ID.
+func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Forks++
+	// Lazily pended updates must be resident before the memory is cloned.
+	t.flushAllPending()
+	tend := t.endSliceLocked()
+
+	id := api.ThreadID(len(e.threads))
+	child := &thread{
+		exec:       e,
+		id:         id,
+		fn:         fn,
+		monitoring: true,
+		space:      t.space.Clone(),
+		vtime:      tend.Clone().Set(int(id), 1),
+		vt:         t.vt + vtime.ThreadSpawn,
+		wake:       make(chan wakeEvent, 1),
+	}
+	child.space.SetFaultHandler(child.onFault)
+	child.slicePtrs = append(child.slicePtrs, t.slicePtrs...)
+	if e.opts.LazyWrites {
+		child.pending = make(map[mem.PageID][]mem.Run)
+	}
+	if e.opts.NoCommHint != nil && e.opts.NoCommHint(int32(id)) {
+		child.noComm = true
+	}
+	child.proc = e.sched.Register(int32(id), t.proc.Clock()+1)
+	e.alloc.Register(int(id))
+	e.threads = append(e.threads, child)
+	e.liveCount++
+	if e.liveCount > e.maxLive {
+		e.maxLive = e.liveCount
+	}
+	// From the first fork on, the main thread must monitor its
+	// modifications (§4.1).
+	if !t.monitoring {
+		t.monitoring = true
+		if e.opts.LazyWrites && t.pending == nil {
+			t.pending = make(map[mem.PageID][]mem.Run)
+		}
+	}
+	e.wg.Add(1)
+	go e.runThread(child)
+	t.beginSliceLocked()
+	e.tracer.record(t, "spawn", api.Addr(id))
+	t.finishOpLocked()
+	e.mu.Unlock()
+	return id
+}
+
+// Join implements pthread_join (§4.1): an acquire of the joined thread's
+// exit release; all of the child's modifications are propagated here.
+func (t *thread) Join(id api.ThreadID) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.Joins++
+	if id < 0 || int(id) >= len(e.threads) {
+		e.failLocked(fmt.Errorf("rfdet: thread %d: join of unknown thread %d", t.id, id))
+		e.mu.Unlock()
+		panic(errAborted)
+	}
+	if id == t.id {
+		e.failLocked(fmt.Errorf("rfdet: thread %d: join of itself", t.id))
+		e.mu.Unlock()
+		panic(errAborted)
+	}
+	target := e.threads[id]
+	t.endSliceLocked()
+	if target.proc.Status() != kendo.Exited {
+		target.joiners = append(target.joiners, t)
+		t.blockLocked(fmt.Sprintf("join of thread %d", id))
+		t.finishOpLocked()
+		e.mu.Unlock()
+		ev := t.sleep()
+		e.mu.Lock()
+		t.vt = vtime.Max(t.vt, ev.vt)
+	}
+	t.acquireFromLocked(int32(target.id), target.exitV, target.exitVT)
+	t.beginSliceLocked()
+	e.tracer.record(t, "join", api.Addr(id))
+	t.finishOpLocked()
+	e.mu.Unlock()
+}
+
+// AtomicAdd64 is the §4.6 low-level-atomics extension: a Kendo-ordered
+// acquire+release on the word's own internal synchronization variable, with
+// the store published as a one-word micro-slice.
+func (t *thread) AtomicAdd64(a api.Addr, delta uint64) uint64 {
+	var out uint64
+	t.atomicOp(a, func(cur uint64) (uint64, bool) {
+		out = cur + delta
+		return out, true
+	})
+	return out
+}
+
+// AtomicCAS64 atomically compares-and-swaps the word at a, deterministically.
+func (t *thread) AtomicCAS64(a api.Addr, old, new uint64) bool {
+	var ok bool
+	t.atomicOp(a, func(cur uint64) (uint64, bool) {
+		ok = cur == old
+		return new, ok
+	})
+	return ok
+}
+
+// atomicOp runs op as an acquire (propagate the latest release of the
+// word's internal variable) followed, when op writes, by a release: the
+// write is published as a one-word micro-slice and recorded as the
+// variable's last release. The write itself bypasses slice monitoring — it
+// is carried by the micro-slice, not by page diffing.
+func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote bool)) {
+	t.turn()
+	e := t.exec
+	e.mu.Lock()
+	t.st.AtomicsOps++
+	sv := e.syncvar(a)
+	t.endSliceLocked()
+	t.acquireLocked(sv)
+	cur := t.space.Load64(uint64(a)) // flushes lazily pended updates if any
+	newVal, wrote := op(cur)
+	t.vt += 2 * vtime.MemOp
+	if wrote {
+		data := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			data[i] = byte(newVal >> (8 * i))
+		}
+		run := mem.Run{Addr: uint64(a), Data: data}
+		t.space.ApplyRuns([]mem.Run{run})
+		micro := &slicestore.Slice{
+			Tid:   int32(t.id),
+			Time:  t.vtime.Clone(),
+			Mods:  []mem.Run{run},
+			Bytes: 8,
+		}
+		t.st.SlicesCreated++
+		t.slicePtrs = append(t.slicePtrs, micro)
+		if e.store.Commit(micro) {
+			e.gcLocked()
+		}
+		tend := t.vtime.Clone()
+		t.vtime = t.vtime.Bump(int(t.id))
+		t.releaseLocked(sv, tend)
+	}
+	t.beginSliceLocked()
+	e.tracer.record(t, "atomic", a)
+	t.finishOpLocked()
+	e.mu.Unlock()
+}

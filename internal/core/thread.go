@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfdet/internal/api"
+	"rfdet/internal/kendo"
+	"rfdet/internal/mem"
+	"rfdet/internal/slicestore"
+	"rfdet/internal/vclock"
+	"rfdet/internal/vtime"
+)
+
+// thread is one logical DMT thread: a private address space, a DLRC vector
+// clock, the slice-pointer list of §4.3, and the current slice's monitoring
+// state. A thread struct is mutated by its own goroutine, or — for the
+// fields below the exec monitor — by other threads holding exec.mu while
+// this thread is provably blocked (lock grant, barrier merge).
+type thread struct {
+	exec *exec
+	id   api.ThreadID
+	fn   api.ThreadFunc
+	proc *kendo.Proc
+
+	// space is the thread's private view of shared memory.
+	space *mem.Space
+	// vtime is the DLRC vector clock (§4.2).
+	vtime vclock.VC
+	// vt is the thread's virtual time under the internal/vtime cost model.
+	vt vtime.Time
+	// monitoring is false only in the main thread before its first
+	// pthread_create (§4.1).
+	monitoring bool
+	// noComm marks a thread the programmer hinted as never-communicating
+	// (Options.NoCommHint): its clock is excluded from the GC frontier.
+	noComm bool
+
+	// slicePtrs is the happens-before-ordered list of all slices visible to
+	// this thread (§4.3). Guarded by exec.mu: other threads walk it during
+	// their propagation.
+	slicePtrs []*slicestore.Slice
+
+	// Current-slice monitoring state: page snapshots in first-touch order.
+	snapshots map[mem.PageID][]byte
+	snapOrder []mem.PageID
+
+	// Lazy-writes state (§4.5): pending modification runs per page, applied
+	// on first access. Non-nil iff the optimization is enabled.
+	pending map[mem.PageID][]mem.Run
+
+	// preMerged records slices applied by a prelock pre-merge (§4.5) so the
+	// eventual acquire skips them. Nil when no pre-merge is outstanding.
+	preMerged map[*slicestore.Slice]bool
+
+	// pendingSignal carries the cond-signal release record from the
+	// signaler to this waiter (set under exec.mu while the waiter sleeps).
+	pendingSignal *signalRecord
+
+	wake chan wakeEvent
+	// blockedOn describes the current block site for deadlock diagnostics.
+	blockedOn string
+	joiners   []*thread
+	exitV     vclock.VC
+	exitVT    vtime.Time
+
+	st  api.Stats
+	obs []uint64
+}
+
+// ID returns the deterministic thread ID.
+func (t *thread) ID() api.ThreadID { return t.id }
+
+// Tick advances the Kendo logical clock and virtual time by n instructions.
+func (t *thread) Tick(n uint64) {
+	t.proc.Tick(n)
+	t.vt += vtime.Time(n) * vtime.MemOp
+}
+
+// Observe appends values to the deterministic output log.
+func (t *thread) Observe(vals ...uint64) {
+	t.obs = append(t.obs, vals...)
+}
+
+//
+// Memory accesses. Every load/store ticks the Kendo clock by one, mirroring
+// the paper's per-basic-block memory-instruction counting (§4.1).
+//
+
+func (t *thread) loadTick() {
+	t.proc.Tick(1)
+	t.st.Loads++
+	t.vt += vtime.MemOp
+}
+
+func (t *thread) storeTick() {
+	t.proc.Tick(1)
+	t.st.Stores++
+	t.vt += vtime.MemOp
+}
+
+// recordStore is the CI monitor's store instrumentation (Figure 4): on the
+// first store to a shared page within the current slice, snapshot the page.
+// The PF monitor performs the same snapshot in the protection-fault handler
+// instead.
+func (t *thread) recordStore(a, n uint64) {
+	if !t.monitoring || t.exec.opts.Monitor != MonitorCI {
+		return
+	}
+	t.vt += vtime.StoreCheck
+	first, last := mem.PageOf(a), mem.PageOf(a+n-1)
+	for pid := first; ; pid++ {
+		if _, ok := t.snapshots[pid]; !ok {
+			// Pending lazy modifications must land before the snapshot so
+			// the diff baseline reflects everything that happens-before
+			// this slice.
+			if t.pending != nil {
+				if _, has := t.pending[pid]; has {
+					t.flushPage(pid)
+				}
+			}
+			t.takeSnapshot(pid)
+		}
+		if pid == last {
+			break
+		}
+	}
+}
+
+// takeSnapshot copies the page into the metadata space (Figure 4, lines
+// 5-7).
+func (t *thread) takeSnapshot(pid mem.PageID) {
+	t.exec.store.AllocSnapshot()
+	if t.snapshots == nil {
+		t.snapshots = make(map[mem.PageID][]byte)
+	}
+	t.snapshots[pid] = t.space.Snapshot(pid)
+	t.snapOrder = append(t.snapOrder, pid)
+	t.st.StoresWithCopy++
+	t.vt += vtime.SnapshotPage
+}
+
+// onFault is the simulated SIGSEGV handler: it serves lazy-write flushes
+// (ProtNone pages with pended modifications) and, under the PF monitor,
+// first-touch page snapshots (ProtRead write faults).
+func (t *thread) onFault(pid mem.PageID, write bool) {
+	if t.pending != nil {
+		if _, has := t.pending[pid]; has {
+			t.flushPage(pid)
+		}
+	}
+	if t.monitoring && t.exec.opts.Monitor == MonitorPF {
+		if _, ok := t.snapshots[pid]; !ok {
+			if write {
+				t.st.PageFaults++
+				t.vt += vtime.Fault
+				t.takeSnapshot(pid)
+				t.space.Protect(pid, mem.ProtRW)
+			} else {
+				// A read fault can only come from a lazy flush; restore
+				// write protection so the first store still snapshots.
+				t.space.Protect(pid, mem.ProtRead)
+			}
+			return
+		}
+	}
+	t.space.Protect(pid, mem.ProtRW)
+}
+
+func (t *thread) Load8(a api.Addr) uint8 {
+	t.loadTick()
+	return t.space.Load8(uint64(a))
+}
+
+func (t *thread) Store8(a api.Addr, v uint8) {
+	t.storeTick()
+	t.recordStore(uint64(a), 1)
+	t.space.Store8(uint64(a), v)
+}
+
+func (t *thread) Load32(a api.Addr) uint32 {
+	t.loadTick()
+	return t.space.Load32(uint64(a))
+}
+
+func (t *thread) Store32(a api.Addr, v uint32) {
+	t.storeTick()
+	t.recordStore(uint64(a), 4)
+	t.space.Store32(uint64(a), v)
+}
+
+func (t *thread) Load64(a api.Addr) uint64 {
+	t.loadTick()
+	return t.space.Load64(uint64(a))
+}
+
+func (t *thread) Store64(a api.Addr, v uint64) {
+	t.storeTick()
+	t.recordStore(uint64(a), 8)
+	t.space.Store64(uint64(a), v)
+}
+
+func (t *thread) LoadF64(a api.Addr) float64 { return math.Float64frombits(t.Load64(a)) }
+
+func (t *thread) StoreF64(a api.Addr, v float64) { t.Store64(a, math.Float64bits(v)) }
+
+func (t *thread) ReadBytes(a api.Addr, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	t.proc.Tick(uint64(len(buf)))
+	t.st.Loads++
+	t.vt += vtime.Time(len(buf)) * vtime.MemOp
+	t.space.ReadBytes(uint64(a), buf)
+}
+
+func (t *thread) WriteBytes(a api.Addr, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	t.proc.Tick(uint64(len(data)))
+	t.st.Stores++
+	t.vt += vtime.Time(len(data)) * vtime.MemOp
+	t.recordStore(uint64(a), uint64(len(data)))
+	t.space.WriteBytes(uint64(a), data)
+}
+
+// Malloc allocates shared memory from the thread's deterministic heap
+// (§4.4).
+func (t *thread) Malloc(size uint64) api.Addr {
+	t.Tick(8)
+	return api.Addr(t.exec.alloc.Malloc(int(t.id), size))
+}
+
+// Free releases an allocation. Cross-thread frees are ordered by the exec
+// monitor (the allocator routes the block to the owning heap, §4.4).
+func (t *thread) Free(a api.Addr) {
+	t.Tick(8)
+	if err := t.exec.alloc.Free(uint64(a)); err != nil {
+		t.exec.fail(fmt.Errorf("rfdet: thread %d: %v", t.id, err))
+		panic(errAborted)
+	}
+}
+
+//
+// Slice lifecycle (§4.2).
+//
+
+// beginSliceLocked starts monitoring a new slice. Under the PF monitor this
+// is where the whole shared mapping is write-protected — the per-slice cost
+// that makes RFDet-pf slower than RFDet-ci on sync-heavy programs (§5.2).
+func (t *thread) beginSliceLocked() {
+	if !t.monitoring || t.exec.opts.Monitor != MonitorPF {
+		return
+	}
+	n := t.space.ProtectAll(mem.ProtRead)
+	t.st.PageProtects += uint64(n)
+	t.vt += vtime.Time(n) * vtime.ProtectPage
+	// Pages with pended lazy modifications must fault on reads too.
+	for pid := range t.pending {
+		t.space.Protect(pid, mem.ProtNone)
+	}
+}
+
+// finishSlice ends the current slice: each snapshotted page is byte-diffed
+// against its current contents to produce the modification list (§4.2). It
+// returns nil when the slice made no modifications. The snapshot memory is
+// released immediately after diffing, as in §5.4.
+func (t *thread) finishSlice() *slicestore.Slice {
+	if len(t.snapOrder) == 0 {
+		return nil
+	}
+	var mods []mem.Run
+	for _, pid := range t.snapOrder {
+		runs := mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+		mods = append(mods, runs...)
+		t.exec.store.FreeSnapshot()
+		t.vt += vtime.DiffPage
+		delete(t.snapshots, pid)
+	}
+	t.snapOrder = t.snapOrder[:0]
+	if len(mods) == 0 {
+		return nil
+	}
+	return &slicestore.Slice{
+		Tid:   int32(t.id),
+		Time:  t.vtime.Clone(),
+		Mods:  mods,
+		Bytes: mem.RunBytes(mods),
+	}
+}
+
+// endSliceLocked ends the current slice at a synchronization operation: it
+// commits the finished slice (if any) to the metadata space and this
+// thread's slice-pointer list, then advances the thread's vector clock so
+// every later slice is strictly newer (§4.2). It returns the pre-bump
+// clock — the timestamp a release operation must publish as lastTime: using
+// the post-bump clock would let a slice committed later (with the bumped
+// component) appear already-seen to a thread that joined this release's
+// time, silently losing its modifications.
+func (t *thread) endSliceLocked() vclock.VC {
+	s := t.finishSlice()
+	tend := t.vtime.Clone()
+	if s != nil {
+		t.st.SlicesCreated++
+		t.slicePtrs = append(t.slicePtrs, s)
+		if t.exec.store.Commit(s) {
+			t.exec.gcLocked()
+		}
+	}
+	t.vtime = t.vtime.Bump(int(t.id))
+	return tend
+}
+
+//
+// Lazy writes (§4.5).
+//
+
+// pendSlice records a propagated slice's modifications as per-page pending
+// runs instead of applying them eagerly, and revokes access to the affected
+// pages so the first access applies them.
+func (t *thread) pendSlice(s *slicestore.Slice) {
+	byPage := mem.SplitRunsByPage(s.Mods)
+	for pid, runs := range byPage {
+		t.pending[pid] = append(t.pending[pid], runs...)
+		t.space.Protect(pid, mem.ProtNone)
+	}
+	// Bookkeeping cost only: the writes themselves are deferred.
+	t.vt += vtime.Time(len(s.Mods)) * 4
+}
+
+// flushPage applies the pended modifications for one page, in propagation
+// order, and restores access. The virtual-time cost counts each byte once
+// even if multiple propagations pended overlapping updates — the
+// "just one update" saving of §4.5.
+func (t *thread) flushPage(pid mem.PageID) {
+	runs := t.pending[pid]
+	delete(t.pending, pid)
+	t.space.Protect(pid, mem.ProtRW)
+	var touched [mem.PageSize]bool
+	distinct := uint64(0)
+	for _, r := range runs {
+		off := r.Addr & mem.PageMask
+		for i := range r.Data {
+			if !touched[off+uint64(i)] {
+				touched[off+uint64(i)] = true
+				distinct++
+			}
+		}
+	}
+	t.space.ApplyRuns(runs)
+	t.st.LazyPendingApplied += uint64(len(runs))
+	t.st.LazyRunsElided += mem.RunBytes(runs) - distinct
+	t.vt += vtime.ApplyCost(1, distinct)
+}
+
+// flushAllPending applies every pended page in deterministic order (thread
+// exit, barrier merge, final memory hashing).
+func (t *thread) flushAllPending() {
+	if len(t.pending) == 0 {
+		return
+	}
+	pids := make([]mem.PageID, 0, len(t.pending))
+	for pid := range t.pending {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		t.flushPage(pid)
+	}
+}

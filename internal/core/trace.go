@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"rfdet/internal/api"
+	"rfdet/internal/vclock"
+)
+
+// Tracing records the deterministic synchronization history of an
+// execution: one line per synchronization operation, in the Kendo admission
+// order, with the thread, operation, Kendo clock and vector clock. Because
+// the admission order, the clocks and the propagation decisions are all
+// deterministic, the entire trace must be byte-identical across runs — a
+// much stronger observable than the output hash, and the basis for
+// debugging ("what was the schedule?") that the paper's introduction
+// motivates.
+//
+// Enable with Options.Trace; fetch the trace through Runtime.LastTrace or
+// write it to a writer with WriteTrace.
+
+// traceEvent is one synchronization operation in the deterministic order.
+type traceEvent struct {
+	seq   uint64
+	tid   api.ThreadID
+	op    string
+	addr  api.Addr
+	clock uint64
+	vtime vclock.VC
+}
+
+// tracer accumulates events under the exec monitor.
+type tracer struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+func (tr *tracer) record(t *thread, op string, addr api.Addr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, traceEvent{
+		seq:   uint64(len(tr.events)),
+		tid:   t.id,
+		op:    op,
+		addr:  addr,
+		clock: t.proc.Clock(),
+		vtime: t.vtime.Clone(),
+	})
+	tr.mu.Unlock()
+}
+
+// Trace is the rendered deterministic schedule of one execution.
+type Trace struct {
+	Lines []string
+}
+
+// String joins the trace lines.
+func (tr *Trace) String() string { return strings.Join(tr.Lines, "\n") }
+
+// WriteTo writes the trace to w.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, l := range tr.Lines {
+		m, err := fmt.Fprintln(w, l)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// render converts the raw events to stable text lines.
+func (tr *tracer) render() *Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	sort.SliceStable(tr.events, func(i, j int) bool { return tr.events[i].seq < tr.events[j].seq })
+	out := &Trace{Lines: make([]string, 0, len(tr.events))}
+	for _, e := range tr.events {
+		out.Lines = append(out.Lines, fmt.Sprintf("%06d t%-2d %-9s %#08x kendo=%-8d vc=%s",
+			e.seq, e.tid, e.op, uint64(e.addr), e.clock, e.vtime))
+	}
+	return out
+}

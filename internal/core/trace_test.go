@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+func tracedProg(th api.Thread) {
+	x := th.Malloc(8)
+	flag := th.Malloc(8)
+	mu := api.Addr(64)
+	cond := api.Addr(128)
+	bar := api.Addr(192)
+	var ids []api.ThreadID
+	for w := 0; w < 3; w++ {
+		me := uint64(w + 1)
+		ids = append(ids, th.Spawn(func(c api.Thread) {
+			c.Lock(mu)
+			c.Store64(x, c.Load64(x)+me)
+			c.Unlock(mu)
+			c.AtomicAdd64(x+8, me)
+			c.Barrier(bar, 3)
+			if me == 1 {
+				// A real condvar handshake so the trace covers wait/signal.
+				c.Lock(mu)
+				for c.Load64(flag) == 0 {
+					c.Wait(cond, mu)
+				}
+				c.Unlock(mu)
+			}
+		}))
+	}
+	// Delay the signal past worker 1's wait in the deterministic order so
+	// the trace contains a real wait/wake pair.
+	th.Tick(100000)
+	th.Lock(mu)
+	th.Store64(flag, 1)
+	th.Signal(cond)
+	th.Unlock(mu)
+	for _, id := range ids {
+		th.Join(id)
+	}
+	th.Observe(th.Load64(x))
+}
+
+// TestTraceIsDeterministic requires the full synchronization schedule — not
+// just the output — to be byte-identical across runs.
+func TestTraceIsDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trace = true
+	rt := New(opts)
+	var first string
+	for i := 0; i < 4; i++ {
+		rep, tr, err := rt.RunTraced(tracedProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil || tr == nil {
+			t.Fatal("missing report or trace")
+		}
+		s := tr.String()
+		if i == 0 {
+			first = s
+			continue
+		}
+		if s != first {
+			t.Fatalf("schedule diverged between runs:\n--- first ---\n%s\n--- now ---\n%s", first, s)
+		}
+	}
+	// The trace must mention every operation class the program used.
+	for _, op := range []string{"spawn", "lock", "unlock", "atomic", "barrier", "join", "signal", "wait"} {
+		if !strings.Contains(first, op) {
+			t.Fatalf("trace missing %q operations:\n%s", op, first)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault verifies Run and RunTraced without the option.
+func TestTraceDisabledByDefault(t *testing.T) {
+	_, tr, err := New(DefaultOptions()).RunTraced(func(th api.Thread) {
+		th.Lock(64)
+		th.Unlock(64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Fatal("trace produced without Options.Trace")
+	}
+}
+
+// TestTraceWriteTo exercises the writer path.
+func TestTraceWriteTo(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trace = true
+	_, tr, err := New(opts).RunTraced(func(th api.Thread) {
+		th.Lock(64)
+		th.Unlock(64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lock") || !strings.Contains(sb.String(), "vc=") {
+		t.Fatalf("unexpected trace output: %q", sb.String())
+	}
+}

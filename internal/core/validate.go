@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"rfdet/internal/slicestore"
+)
+
+// validateLocked checks the structural DLRC invariants after an execution
+// finishes (enabled with Options.Validate; used by the test suite). The
+// checks run over whatever state garbage collection has retained — the
+// invariants are preserved by collection, which only removes
+// globally-dominated slices.
+func (e *exec) validateLocked() error {
+	// Slice timestamps are globally unique: the propagation filters depend
+	// on timestamps distinguishing slices.
+	seen := make(map[string]*slicestore.Slice)
+	for _, t := range e.threads {
+		for _, s := range t.slicePtrs {
+			key := s.Time.String() + "#" + fmt.Sprint(s.Tid)
+			if prev, ok := seen[key]; ok && prev != s {
+				return fmt.Errorf("rfdet: validate: two distinct slices by thread %d share timestamp %s",
+					s.Tid, s.Time)
+			}
+			seen[key] = s
+		}
+	}
+	for _, t := range e.threads {
+		// 1. The slice-pointer list respects happens-before: a slice never
+		//    appears after one that happens-after it, because propagation
+		//    appends remote slices in the releaser's (already consistent)
+		//    order and local slices as they are created (§4.3).
+		for i := 0; i < len(t.slicePtrs); i++ {
+			for j := i + 1; j < len(t.slicePtrs); j++ {
+				si, sj := t.slicePtrs[i], t.slicePtrs[j]
+				if sj.Time.Less(si.Time) {
+					return fmt.Errorf("rfdet: validate: thread %d list order violates happens-before: %s (pos %d) after %s (pos %d)",
+						t.id, sj.Time, j, si.Time, i)
+				}
+			}
+		}
+		// 2. Everything in the list happened-before the thread's final
+		//    instruction: the thread has provably seen each slice.
+		final := t.vtime
+		if t.exitV != nil {
+			final = t.exitV
+		}
+		for _, s := range t.slicePtrs {
+			if !s.Time.Leq(final) {
+				return fmt.Errorf("rfdet: validate: thread %d holds slice %s not happened-before its clock %s",
+					t.id, s.Time, final)
+			}
+		}
+		// 3. A thread's own slices appear in strictly increasing order of
+		//    its own clock component.
+		var last uint64
+		for _, s := range t.slicePtrs {
+			if s.Tid != int32(t.id) {
+				continue
+			}
+			own := s.Time.Get(int(t.id))
+			if own <= last {
+				return fmt.Errorf("rfdet: validate: thread %d own slices out of order (component %d after %d)",
+					t.id, own, last)
+			}
+			last = own
+		}
+	}
+	return nil
+}

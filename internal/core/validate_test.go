@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/mem"
+	"rfdet/internal/slicestore"
+	"rfdet/internal/vclock"
+)
+
+// fakeThread builds a minimal thread for white-box validator tests.
+func fakeThread(e *exec, id int, v vclock.VC) *thread {
+	t := &thread{
+		exec:  e,
+		id:    api.ThreadID(id),
+		space: mem.NewSpace(),
+		vtime: v,
+		wake:  make(chan wakeEvent, 1),
+	}
+	t.proc = e.sched.Register(int32(id), 0)
+	return t
+}
+
+func newTestExec() *exec {
+	return newExec(Options{})
+}
+
+func sliceWith(tid int32, time vclock.VC) *slicestore.Slice {
+	return &slicestore.Slice{Tid: tid, Time: time, Mods: []mem.Run{{Addr: 0, Data: []byte{1}}}, Bytes: 1}
+}
+
+// TestValidatorCatchesOrderViolation proves the invariant checker is not
+// vacuous: a slice list that violates happens-before order is rejected.
+func TestValidatorCatchesOrderViolation(t *testing.T) {
+	e := newTestExec()
+	th := fakeThread(e, 0, vclock.VC{10, 10})
+	newer := sliceWith(1, vclock.VC{0, 5})
+	older := sliceWith(1, vclock.VC{0, 2}) // happens-before newer, listed after
+	th.slicePtrs = []*slicestore.Slice{newer, older}
+	e.threads = append(e.threads, th)
+	err := e.validateLocked()
+	if err == nil || !strings.Contains(err.Error(), "happens-before") {
+		t.Fatalf("expected order violation, got %v", err)
+	}
+}
+
+// TestValidatorCatchesUnseenSlice: a slice the thread provably has not seen
+// (its timestamp is not ≤ the thread's clock) must be rejected.
+func TestValidatorCatchesUnseenSlice(t *testing.T) {
+	e := newTestExec()
+	th := fakeThread(e, 0, vclock.VC{3})
+	th.slicePtrs = []*slicestore.Slice{sliceWith(1, vclock.VC{0, 9})}
+	e.threads = append(e.threads, th)
+	err := e.validateLocked()
+	if err == nil || !strings.Contains(err.Error(), "not happened-before") {
+		t.Fatalf("expected unseen-slice violation, got %v", err)
+	}
+}
+
+// TestValidatorCatchesOwnComponentRegression: a thread's own slices must
+// carry strictly increasing own-clock components.
+func TestValidatorCatchesOwnComponentRegression(t *testing.T) {
+	e := newTestExec()
+	th := fakeThread(e, 0, vclock.VC{10})
+	a := sliceWith(0, vclock.VC{4})
+	b := sliceWith(0, vclock.VC{4}) // duplicate own component
+	th.slicePtrs = []*slicestore.Slice{a, b}
+	e.threads = append(e.threads, th)
+	err := e.validateLocked()
+	if err == nil {
+		t.Fatal("expected a validation error for duplicate own components")
+	}
+}
+
+// TestValidatorAcceptsConsistentState: a well-formed list passes.
+func TestValidatorAcceptsConsistentState(t *testing.T) {
+	e := newTestExec()
+	th := fakeThread(e, 0, vclock.VC{10, 10})
+	th.slicePtrs = []*slicestore.Slice{
+		sliceWith(1, vclock.VC{0, 2}),
+		sliceWith(0, vclock.VC{3, 2}),
+		sliceWith(1, vclock.VC{3, 7}),
+		sliceWith(0, vclock.VC{9, 7}),
+	}
+	e.threads = append(e.threads, th)
+	if err := e.validateLocked(); err != nil {
+		t.Fatalf("consistent state rejected: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package dthreads
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+func run(t *testing.T, rt *Runtime, fn api.ThreadFunc) *api.Report {
+	t.Helper()
+	rep, err := rt.Run(fn)
+	if err != nil {
+		t.Fatalf("Run failed: %v", err)
+	}
+	return rep
+}
+
+func TestSingleThread(t *testing.T) {
+	rep := run(t, New(), func(th api.Thread) {
+		a := th.Malloc(16)
+		th.Store64(a, 5)
+		th.Store32(a+8, 6)
+		th.Observe(th.Load64(a), uint64(th.Load32(a+8)))
+	})
+	obs := rep.Observations[0]
+	if obs[0] != 5 || obs[1] != 6 {
+		t.Fatalf("observations %v", obs)
+	}
+}
+
+func TestCommitAtSyncPoints(t *testing.T) {
+	// A child's write becomes visible to the parent only after both sides
+	// synchronize (the child's commit and the parent's refresh).
+	rep := run(t, New(), func(th api.Thread) {
+		a := th.Malloc(8)
+		id := th.Spawn(func(c api.Thread) {
+			c.Store64(a, 77)
+		})
+		th.Join(id)
+		th.Observe(th.Load64(a))
+	})
+	if rep.Observations[0][0] != 77 {
+		t.Fatalf("parent read %d, want 77", rep.Observations[0][0])
+	}
+}
+
+func TestLockMutualExclusionAndDeterminism(t *testing.T) {
+	prog := func(th api.Thread) {
+		ctr := th.Malloc(8)
+		mu := api.Addr(64)
+		var ids []api.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for k := 0; k < 20; k++ {
+					c.Lock(mu)
+					c.Store64(ctr, c.Load64(ctr)+1)
+					c.Unlock(mu)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(ctr))
+	}
+	var first uint64
+	for i := 0; i < 3; i++ {
+		rep := run(t, New(), prog)
+		if got := rep.Observations[0][0]; got != 80 {
+			t.Fatalf("counter = %d, want 80", got)
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatalf("nondeterministic hash: %#x vs %#x", rep.OutputHash, first)
+		}
+	}
+}
+
+func TestRacyWritesResolvedByTokenOrder(t *testing.T) {
+	// Two threads racing on the same word commit in thread-ID order: the
+	// higher ID wins deterministically.
+	prog := func(th api.Thread) {
+		x := th.Malloc(8)
+		bar := api.Addr(64)
+		t1 := th.Spawn(func(c api.Thread) {
+			c.Store64(x, 111)
+			c.Barrier(bar, 2)
+		})
+		t2 := th.Spawn(func(c api.Thread) {
+			c.Store64(x, 222)
+			c.Barrier(bar, 2)
+		})
+		th.Join(t1)
+		th.Join(t2)
+		th.Observe(th.Load64(x))
+	}
+	var first uint64
+	for i := 0; i < 3; i++ {
+		rep := run(t, New(), prog)
+		got := rep.Observations[0][0]
+		if got != 222 {
+			t.Fatalf("token-order conflict resolution gave %d, want 222 (higher tid commits later)", got)
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatal("racy program nondeterministic under dthreads")
+		}
+	}
+}
+
+func TestCondVars(t *testing.T) {
+	rep := run(t, New(), func(th api.Thread) {
+		mu, cond := api.Addr(64), api.Addr(128)
+		flag := th.Malloc(8)
+		id := th.Spawn(func(c api.Thread) {
+			c.Lock(mu)
+			for c.Load64(flag) == 0 {
+				c.Wait(cond, mu)
+			}
+			c.Observe(c.Load64(flag))
+			c.Unlock(mu)
+		})
+		th.Lock(mu)
+		th.Store64(flag, 9)
+		th.Signal(cond)
+		th.Unlock(mu)
+		th.Join(id)
+	})
+	if rep.Observations[1][0] != 9 {
+		t.Fatalf("waiter observed %v", rep.Observations[1])
+	}
+}
+
+func TestIsolationBetweenFences(t *testing.T) {
+	// A write is invisible to a thread that has not crossed a fence after
+	// the writer's commit... but any sync op refreshes. Here the reader
+	// performs no sync at all between the write and its read, so it must
+	// see the pre-fork value.
+	rep := run(t, New(), func(th api.Thread) {
+		x := th.Malloc(8)
+		writer := th.Spawn(func(c api.Thread) {
+			c.Store64(x, 1)
+			c.Lock(api.Addr(64)) // commit point
+			c.Unlock(api.Addr(64))
+		})
+		reader := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 1000; i++ {
+				c.Tick(10)
+			}
+			c.Observe(c.Load64(x)) // no sync since birth: must read 0
+		})
+		th.Join(writer)
+		th.Join(reader)
+	})
+	if got := rep.Observations[2][0]; got != 0 {
+		t.Fatalf("reader saw %d without synchronizing", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	_, err := New().Run(func(th api.Thread) {
+		mu1, mu2 := api.Addr(64), api.Addr(128)
+		id := th.Spawn(func(c api.Thread) {
+			c.Lock(mu2)
+			c.Lock(mu1)
+			c.Unlock(mu1)
+			c.Unlock(mu2)
+		})
+		th.Lock(mu1)
+		th.Lock(mu2)
+		th.Unlock(mu2)
+		th.Unlock(mu1)
+		th.Join(id)
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestQuantumFencing(t *testing.T) {
+	// CoreDet mode: a compute-only thread still reaches fences, so a
+	// sync-ing thread is not stalled forever — and the quantum arrivals are
+	// deterministic.
+	rt := NewQuantum(1000)
+	prog := func(th api.Thread) {
+		x := th.Malloc(8)
+		mu := api.Addr(64)
+		compute := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 100; i++ {
+				c.Tick(100)
+			}
+		})
+		locker := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 10; i++ {
+				c.Lock(mu)
+				c.Store64(x, c.Load64(x)+1)
+				c.Unlock(mu)
+			}
+		})
+		th.Join(compute)
+		th.Join(locker)
+		th.Observe(th.Load64(x))
+	}
+	var first uint64
+	for i := 0; i < 2; i++ {
+		rep := run(t, rt, prog)
+		if rep.Observations[0][0] != 10 {
+			t.Fatalf("count %d", rep.Observations[0][0])
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatal("coredet nondeterministic")
+		}
+	}
+	if rt.Name() != "coredet" {
+		t.Fatalf("Name = %s", rt.Name())
+	}
+}
+
+func TestMisuseErrors(t *testing.T) {
+	if _, err := New().Run(func(th api.Thread) { th.Unlock(api.Addr(64)) }); err == nil {
+		t.Fatal("unlock of unheld mutex must fail")
+	}
+	if _, err := New().Run(func(th api.Thread) { th.Join(99) }); err == nil {
+		t.Fatal("join of unknown thread must fail")
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	rep := run(t, New(), func(th api.Thread) {
+		ctr := th.Malloc(8)
+		var ids []api.ThreadID
+		for i := 0; i < 3; i++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for k := 0; k < 10; k++ {
+					c.AtomicAdd64(ctr, 2)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(ctr))
+	})
+	if rep.Observations[0][0] != 60 {
+		t.Fatalf("atomic counter = %d", rep.Observations[0][0])
+	}
+}

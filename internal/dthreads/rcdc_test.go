@@ -1,0 +1,173 @@
+package dthreads
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+// TestRCDCSameThreadFastPath verifies that re-acquiring a self-released
+// lock avoids the fence under RCDC: a thread hammering its own lock while
+// a slow compute thread runs finishes with a far smaller virtual time than
+// under DThreads, where every lock operation waits for the compute thread.
+func TestRCDCSameThreadFastPath(t *testing.T) {
+	prog := func(th api.Thread) {
+		x := th.Malloc(8)
+		mu := api.Addr(64)
+		slow := th.Spawn(func(c api.Thread) {
+			c.Tick(500000)
+		})
+		locker := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 100; i++ {
+				c.Lock(mu)
+				c.Store64(x, c.Load64(x)+1)
+				c.Unlock(mu)
+			}
+		})
+		th.Join(slow)
+		th.Join(locker)
+		th.Observe(th.Load64(x))
+	}
+	rcdcRep, err := NewRCDC(100000).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtRep, err := New().Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcdcRep.Observations[0][0] != 100 || dtRep.Observations[0][0] != 100 {
+		t.Fatalf("counters: rcdc %v, dthreads %v", rcdcRep.Observations[0], dtRep.Observations[0])
+	}
+	// Both makespans are floored by the slow thread's 1.5M-vt compute.
+	// Under RCDC the locker's 200 lock operations ride the fast path, so
+	// the makespan stays near that floor; under DThreads each operation is
+	// a fence that serializes against the compute thread's remaining work.
+	const slowFloor = 500000 * 3 // ticks × MemOp
+	if rcdcRep.VirtualTime > slowFloor+slowFloor/5 {
+		t.Fatalf("RCDC fast path ineffective: vt=%d, want ≈%d", rcdcRep.VirtualTime, slowFloor)
+	}
+	if dtRep.VirtualTime < rcdcRep.VirtualTime+slowFloor/5 {
+		t.Fatalf("DThreads should pay for its fences: dthreads vt=%d vs rcdc vt=%d",
+			dtRep.VirtualTime, rcdcRep.VirtualTime)
+	}
+}
+
+// TestRCDCCrossThreadHandoffStillFences reproduces §3.1's limitation: two
+// threads alternating on one lock cannot avoid the barrier under RCDC, so
+// the oblivious compute thread still delays them.
+func TestRCDCCrossThreadHandoffStillFences(t *testing.T) {
+	prog := func(th api.Thread) {
+		x := th.Malloc(8)
+		mu := api.Addr(64)
+		slow := th.Spawn(func(c api.Thread) { c.Tick(300000) })
+		var lockers []api.ThreadID
+		for i := 0; i < 2; i++ {
+			lockers = append(lockers, th.Spawn(func(c api.Thread) {
+				for k := 0; k < 20; k++ {
+					c.Lock(mu)
+					c.Store64(x, c.Load64(x)+1)
+					c.Unlock(mu)
+					c.Tick(50)
+				}
+			}))
+		}
+		th.Join(slow)
+		for _, id := range lockers {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(x))
+	}
+	rep, err := NewRCDC(50000).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations[0][0] != 40 {
+		t.Fatalf("counter = %d, want 40", rep.Observations[0][0])
+	}
+	// The handoffs fence, so the makespan is bounded below by the slow
+	// thread plus fence traffic — well above the lockers' own work.
+	if rep.VirtualTime < 300000 {
+		t.Fatalf("cross-thread handoffs skipped the barrier: vt=%d", rep.VirtualTime)
+	}
+}
+
+// TestRCDCDeterministic: the fast path must not break determinism, and the
+// final state must match DThreads' for race-free programs (commutative
+// updates, so schedules cannot matter).
+func TestRCDCDeterministic(t *testing.T) {
+	prog := func(th api.Thread) {
+		x := th.Malloc(8)
+		mu := api.Addr(64)
+		var ids []api.ThreadID
+		for i := 0; i < 3; i++ {
+			me := uint64(i + 1)
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for k := 0; k < 15; k++ {
+					c.Lock(mu)
+					c.Store64(x, c.Load64(x)+me)
+					c.Unlock(mu)
+					c.Tick(100)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(x))
+	}
+	rt := NewRCDC(10000)
+	if rt.Name() != "rcdc" {
+		t.Fatalf("Name = %s", rt.Name())
+	}
+	var first uint64
+	for i := 0; i < 3; i++ {
+		rep, err := rt.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Observations[0][0] != 15*(1+2+3) {
+			t.Fatalf("counter = %d", rep.Observations[0][0])
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatal("rcdc nondeterministic")
+		}
+	}
+}
+
+// TestRCDCMutualExclusion: the fast path must never let two threads hold
+// the same lock. A shared "inside" flag catches violations.
+func TestRCDCMutualExclusion(t *testing.T) {
+	rep, err := NewRCDC(5000).Run(func(th api.Thread) {
+		mu := api.Addr(64)
+		inside := th.Malloc(8)
+		bad := th.Malloc(8)
+		var ids []api.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for k := 0; k < 10; k++ {
+					c.Lock(mu)
+					if c.Load64(inside) != 0 {
+						c.Store64(bad, 1)
+					}
+					c.Store64(inside, 1)
+					c.Tick(20)
+					c.Store64(inside, 0)
+					c.Unlock(mu)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(bad))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations[0][0] != 0 {
+		t.Fatal("two threads were inside the critical section")
+	}
+}

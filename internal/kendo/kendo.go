@@ -1,0 +1,158 @@
+// Package kendo implements the deterministic logical-clock arbitration of
+// Olszewski et al.'s Kendo algorithm, which RFDet uses to impose a
+// deterministic total order on synchronization operations (paper §4.1).
+//
+// Each thread carries a logical clock that counts its instrumented memory
+// operations (the paper's compile-time instrTick instrumentation). A thread
+// may perform a synchronization operation only when its (clock, tid) pair is
+// minimal among all runnable threads; because a waiter's clock is frozen
+// while every other runnable thread's clock only grows, at most one thread
+// holds the turn at a time, and the resulting order of synchronization
+// operations is a pure function of the program's deterministic clock values.
+//
+// Threads blocked on a held lock, in a condition wait, at a barrier or in a
+// join are ineligible for the minimum; they re-enter deterministically
+// because entering and leaving a wait queue happen only while holding the
+// turn. Unlike the quantum schemes of DMP/CoreDet/Calvin, no thread ever
+// waits unless it is itself attempting synchronization — this is the paper's
+// "no global barriers" property.
+package kendo
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Status is a thread's scheduling state as seen by the turn arbiter.
+type Status int32
+
+const (
+	// Running threads compete for the deterministic turn.
+	Running Status = iota
+	// Blocked threads (held lock, cond wait, barrier, join) are ineligible.
+	Blocked
+	// Exited threads no longer participate.
+	Exited
+)
+
+// Proc is one thread's view of the arbiter.
+type Proc struct {
+	id     int32
+	clock  atomic.Uint64
+	status atomic.Int32
+}
+
+// ID returns the deterministic thread ID.
+func (p *Proc) ID() int32 { return p.id }
+
+// Tick advances the logical clock by n instrumented instructions.
+func (p *Proc) Tick(n uint64) { p.clock.Add(n) }
+
+// Clock returns the current logical clock.
+func (p *Proc) Clock() uint64 { return p.clock.Load() }
+
+// SetClock overwrites the logical clock (used for deterministic catch-up at
+// lock handoff).
+func (p *Proc) SetClock(v uint64) { p.clock.Store(v) }
+
+// Status returns the current scheduling state.
+func (p *Proc) Status() Status { return Status(p.status.Load()) }
+
+// SetStatus transitions the scheduling state. Transitions other than
+// Running→Running must happen while the caller holds the runtime monitor so
+// that queue membership and eligibility change together.
+func (p *Proc) SetStatus(s Status) { p.status.Store(int32(s)) }
+
+// before reports whether p precedes q in the deterministic (clock, tid)
+// order.
+func (p *Proc) before(q *Proc) bool {
+	pc, qc := p.clock.Load(), q.clock.Load()
+	if pc != qc {
+		return pc < qc
+	}
+	return p.id < q.id
+}
+
+// Sched arbitrates the deterministic turn among all threads of one program
+// execution.
+type Sched struct {
+	procs   atomic.Pointer[[]*Proc]
+	aborted atomic.Bool
+}
+
+// NewSched returns an empty arbiter.
+func NewSched() *Sched {
+	s := &Sched{}
+	empty := make([]*Proc, 0)
+	s.procs.Store(&empty)
+	return s
+}
+
+// Register adds a thread with the given ID and starting clock and returns
+// its Proc. Registration must be externally serialized (thread creation is a
+// synchronization operation, so it happens under the turn).
+func (s *Sched) Register(id int32, clock uint64) *Proc {
+	p := &Proc{id: id}
+	p.clock.Store(clock)
+	p.status.Store(int32(Running))
+	old := *s.procs.Load()
+	next := make([]*Proc, len(old)+1)
+	copy(next, old)
+	next[len(old)] = p
+	s.procs.Store(&next)
+	return p
+}
+
+// Procs returns the current thread snapshot.
+func (s *Sched) Procs() []*Proc { return *s.procs.Load() }
+
+// Abort makes every WaitForTurn return false, unwinding a failed execution.
+func (s *Sched) Abort() { s.aborted.Store(true) }
+
+// Aborted reports whether the execution was aborted.
+func (s *Sched) Aborted() bool { return s.aborted.Load() }
+
+// WaitForTurn blocks until p holds the deterministic turn: no other Running
+// thread has a smaller (clock, tid). It returns false if the execution was
+// aborted, and reports in waited whether any spinning was necessary (the
+// TurnWaits statistic). The caller's clock must not advance while waiting.
+func (s *Sched) WaitForTurn(p *Proc) (ok, waited bool) {
+	spins := 0
+	for {
+		if s.aborted.Load() {
+			return false, waited
+		}
+		if s.isMin(p) {
+			return true, waited
+		}
+		waited = true
+		spins++
+		switch {
+		case spins < 64:
+			// Busy retry: another thread is about to tick past us.
+		case spins < 512:
+			runtime.Gosched()
+		default:
+			// Long waits (the other thread is deep in a compute slice):
+			// sleep briefly so we do not burn the core it needs.
+			time.Sleep(2 * time.Microsecond)
+		}
+	}
+}
+
+// isMin reports whether p is the minimal Running thread.
+func (s *Sched) isMin(p *Proc) bool {
+	for _, q := range *s.procs.Load() {
+		if q == p || Status(q.status.Load()) != Running {
+			continue
+		}
+		if q.before(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldsTurn reports whether p currently holds the turn (diagnostics/tests).
+func (s *Sched) HoldsTurn(p *Proc) bool { return s.isMin(p) }

@@ -1,0 +1,281 @@
+// Package litmus pins down the DLRC memory model (paper §3) with classic
+// memory-model litmus tests. Each test is a tiny multithreaded program with
+// a set of outcomes; the framework runs it on a runtime and reports the
+// observed outcome.
+//
+// The interesting contrast (§3, Figure 2): DLRC is *more relaxed* than
+// sequential consistency — without synchronization, threads see no remote
+// writes at all — yet, unlike every hardware memory model, it is completely
+// deterministic: a litmus test has exactly one observable outcome per
+// runtime, reproduced on every execution. The test suite asserts both
+// properties: the outcome is among the model's allowed set, and it never
+// varies.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfdet/internal/api"
+)
+
+// Outcome is a tuple of observed register values, rendered "r0=.. r1=..".
+type Outcome string
+
+// outcome builds an Outcome from register values.
+func outcome(vals ...uint64) Outcome {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("r%d=%d", i, v)
+	}
+	return Outcome(strings.Join(parts, " "))
+}
+
+// Test is one litmus shape.
+type Test struct {
+	// Name is the conventional litmus name (MP, SB, LB, IRIW, CoWW...).
+	Name string
+	// Doc explains what the shape probes.
+	Doc string
+	// Prog runs the litmus and returns the observed registers.
+	Prog func(t api.Thread) []uint64
+	// AllowedSC is the outcome set under sequential consistency (what the
+	// pthreads baseline may produce).
+	AllowedSC []Outcome
+	// DLRC is the single outcome RFDet must produce, every time. It is
+	// always either an SC outcome or a relaxed outcome that DLRC's
+	// isolation rule specifically allows (§3: a write is invisible until
+	// it happens-before the read).
+	DLRC Outcome
+	// DLRCRelaxed marks outcomes outside AllowedSC — evidence that DLRC is
+	// weaker than SC for racy code, as §3 argues it may be.
+	DLRCRelaxed bool
+}
+
+// run executes the litmus program and renders the outcome: the registers
+// observed by every thread, concatenated in thread-ID order.
+func run(rt api.Runtime, tst Test) (Outcome, error) {
+	rep, err := rt.Run(func(t api.Thread) {
+		vals := tst.Prog(t)
+		t.Observe(vals...)
+	})
+	if err != nil {
+		return "", err
+	}
+	var regs []uint64
+	for tid := api.ThreadID(0); int(tid) < rep.Threads; tid++ {
+		regs = append(regs, rep.Observations[tid]...)
+	}
+	return outcome(regs...), nil
+}
+
+// Observe runs the litmus n times and returns the distinct outcomes seen.
+func Observe(rt api.Runtime, tst Test, n int) ([]Outcome, error) {
+	seen := map[Outcome]bool{}
+	for i := 0; i < n; i++ {
+		o, err := run(rt, tst)
+		if err != nil {
+			return nil, err
+		}
+		seen[o] = true
+	}
+	out := make([]Outcome, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Tests returns the litmus suite. Thread bodies pad their Kendo clocks so
+// RFDet's deterministic schedule is the stated one; the *memory model*
+// decides what each read returns.
+func Tests() []Test {
+	return []Test{
+		{
+			Name: "MP-plain",
+			Doc: "message passing with plain stores: T1 writes data then flag; " +
+				"T2 reads flag then data. Under DLRC neither write is visible " +
+				"without synchronization — the stale-flag outcome is mandatory.",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				flag := t.Malloc(8)
+				w := t.Spawn(func(c api.Thread) {
+					c.Store64(x, 1)
+					c.Store64(flag, 1)
+				})
+				r := t.Spawn(func(c api.Thread) {
+					c.Tick(10000) // after the writer, in the deterministic order
+					r0 := c.Load64(flag)
+					r1 := c.Load64(x)
+					c.Observe(r0, r1)
+				})
+				t.Join(w)
+				t.Join(r)
+				return nil // observed by the reader below
+			},
+			// SC forbids r0=1 ∧ r1=0; any of the rest may appear.
+			AllowedSC:   []Outcome{outcome(0, 0), outcome(0, 1), outcome(1, 1)},
+			DLRC:        outcome(0, 0),
+			DLRCRelaxed: false,
+		},
+		{
+			Name: "MP-locked",
+			Doc: "message passing with lock-protected publication: the flag's " +
+				"critical section carries the data with it (DLRC propagation), " +
+				"so the reader that sees the flag must see the data.",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				flag := t.Malloc(8)
+				mu := api.Addr(64)
+				w := t.Spawn(func(c api.Thread) {
+					c.Store64(x, 1)
+					c.Lock(mu)
+					c.Store64(flag, 1)
+					c.Unlock(mu)
+				})
+				r := t.Spawn(func(c api.Thread) {
+					c.Tick(10000)
+					c.Lock(mu)
+					r0 := c.Load64(flag)
+					c.Unlock(mu)
+					r1 := c.Load64(x)
+					c.Observe(r0, r1)
+				})
+				t.Join(w)
+				t.Join(r)
+				return nil
+			},
+			AllowedSC: []Outcome{outcome(0, 0), outcome(0, 1), outcome(1, 1)},
+			DLRC:      outcome(1, 1),
+		},
+		{
+			Name: "SB",
+			Doc: "store buffering: each thread writes one location and reads the " +
+				"other. SC forbids r0=0 ∧ r1=0; TSO allows it; DLRC mandates it " +
+				"for unsynchronized threads (complete isolation).",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				y := t.Malloc(8)
+				t1 := t.Spawn(func(c api.Thread) {
+					c.Store64(x, 1)
+					c.Observe(c.Load64(y))
+				})
+				t2 := t.Spawn(func(c api.Thread) {
+					c.Store64(y, 1)
+					c.Observe(c.Load64(x))
+				})
+				t.Join(t1)
+				t.Join(t2)
+				return nil
+			},
+			AllowedSC:   []Outcome{outcome(0, 1), outcome(1, 0), outcome(1, 1)},
+			DLRC:        outcome(0, 0),
+			DLRCRelaxed: true,
+		},
+		{
+			Name: "LB",
+			Doc: "load buffering: each thread reads one location then writes the " +
+				"other. r0=1 ∧ r1=1 requires out-of-thin-air speculation, which " +
+				"no reasonable model allows; DLRC gives 0,0 deterministically.",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				y := t.Malloc(8)
+				t1 := t.Spawn(func(c api.Thread) {
+					c.Observe(c.Load64(x))
+					c.Store64(y, 1)
+				})
+				t2 := t.Spawn(func(c api.Thread) {
+					c.Observe(c.Load64(y))
+					c.Store64(x, 1)
+				})
+				t.Join(t1)
+				t.Join(t2)
+				return nil
+			},
+			AllowedSC:   []Outcome{outcome(0, 0), outcome(0, 1), outcome(1, 0)},
+			DLRC:        outcome(0, 0),
+			DLRCRelaxed: false,
+		},
+		{
+			Name: "IRIW-joined",
+			Doc: "independent reads of independent writes, with the readers " +
+				"joining both writers first: after a join the writes are " +
+				"happened-before, so both readers must agree on both values.",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				y := t.Malloc(8)
+				w1 := t.Spawn(func(c api.Thread) { c.Store64(x, 1) })
+				w2 := t.Spawn(func(c api.Thread) { c.Store64(y, 1) })
+				t.Join(w1)
+				t.Join(w2)
+				r1 := t.Spawn(func(c api.Thread) { c.Observe(c.Load64(x), c.Load64(y)) })
+				r2 := t.Spawn(func(c api.Thread) { c.Observe(c.Load64(y), c.Load64(x)) })
+				t.Join(r1)
+				t.Join(r2)
+				return nil
+			},
+			AllowedSC: []Outcome{outcome(1, 1, 1, 1)},
+			DLRC:      outcome(1, 1, 1, 1),
+		},
+		{
+			Name: "CoWW",
+			Doc: "coherence of write-write races: two unsynchronized writers to " +
+				"one location; the main thread joins both. DLRC resolves the " +
+				"conflict deterministically (the later join's modification wins " +
+				"if not redundant, §4.3).",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				t1 := t.Spawn(func(c api.Thread) { c.Store64(x, 1) })
+				t2 := t.Spawn(func(c api.Thread) { c.Store64(x, 2) })
+				t.Join(t1)
+				t.Join(t2)
+				return []uint64{t.Load64(x)}
+			},
+			AllowedSC: []Outcome{outcome(1), outcome(2)},
+			DLRC:      outcome(2), // join order: t1's slice, then t2's overwrites
+		},
+		{
+			Name: "atomic-MP",
+			Doc: "message passing through the §4.6 atomics extension: the atomic " +
+				"release publishes the plain data store.",
+			Prog: func(t api.Thread) []uint64 {
+				x := t.Malloc(8)
+				flag := t.Malloc(8)
+				w := t.Spawn(func(c api.Thread) {
+					c.Store64(x, 7)
+					c.AtomicAdd64(flag, 1)
+				})
+				r := t.Spawn(func(c api.Thread) {
+					c.Tick(10000)
+					r0 := c.AtomicAdd64(flag, 0)
+					r1 := c.Load64(x)
+					c.Observe(r0, r1)
+				})
+				t.Join(w)
+				t.Join(r)
+				return nil
+			},
+			AllowedSC: []Outcome{outcome(0, 0), outcome(0, 7), outcome(1, 7)},
+			DLRC:      outcome(1, 7),
+		},
+		{
+			Name: "byte-merge",
+			Doc: "the §4.6 example: concurrent 255 and 256 stores to a 32-bit " +
+				"word merge at byte granularity into 511 — deterministic and " +
+				"semantically valid for a racy program, impossible under SC.",
+			Prog: func(t api.Thread) []uint64 {
+				y := t.Malloc(4)
+				t1 := t.Spawn(func(c api.Thread) { c.Store32(y, 256) })
+				t2 := t.Spawn(func(c api.Thread) { c.Store32(y, 255) })
+				t.Join(t1)
+				t.Join(t2)
+				return []uint64{uint64(t.Load32(y))}
+			},
+			AllowedSC:   []Outcome{outcome(255), outcome(256)},
+			DLRC:        outcome(511),
+			DLRCRelaxed: true,
+		},
+	}
+}

@@ -1,0 +1,95 @@
+package litmus
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/core"
+	"rfdet/internal/pthreads"
+)
+
+func rfdetConfigs() []core.Options {
+	return []core.Options{
+		core.DefaultOptions(),
+		{Monitor: core.MonitorPF, SliceMerging: true, Prelock: true, LazyWrites: true},
+		{}, // all optimizations off
+	}
+}
+
+// TestDLRCOutcomes runs each litmus on RFDet: the observed outcome must be
+// exactly the model's predicted one, identical across repetitions and
+// across monitor/optimization configurations.
+func TestDLRCOutcomes(t *testing.T) {
+	for _, tst := range Tests() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			for _, opts := range rfdetConfigs() {
+				outcomes, err := Observe(core.New(opts), tst, 5)
+				if err != nil {
+					t.Fatalf("%s: %v", tst.Name, err)
+				}
+				if len(outcomes) != 1 {
+					t.Fatalf("%s: nondeterministic outcomes %v", tst.Name, outcomes)
+				}
+				if outcomes[0] != tst.DLRC {
+					t.Fatalf("%s (opts %+v): observed %q, DLRC predicts %q",
+						tst.Name, opts, outcomes[0], tst.DLRC)
+				}
+			}
+		})
+	}
+}
+
+// TestRelaxationIsDocumented checks the suite's own bookkeeping: an outcome
+// flagged DLRCRelaxed is outside the SC set, and an unflagged one is inside.
+func TestRelaxationIsDocumented(t *testing.T) {
+	for _, tst := range Tests() {
+		inSC := false
+		for _, o := range tst.AllowedSC {
+			if o == tst.DLRC {
+				inSC = true
+			}
+		}
+		if inSC == tst.DLRCRelaxed {
+			t.Errorf("%s: DLRC outcome %q inSC=%v but flagged relaxed=%v",
+				tst.Name, tst.DLRC, inSC, tst.DLRCRelaxed)
+		}
+	}
+}
+
+// TestPthreadsStaysWithinSC runs each litmus on the pthreads baseline many
+// times: every observed outcome must be SC-allowed (our pthreads serializes
+// simulated memory accesses, so it is sequentially consistent — just
+// nondeterministic).
+func TestPthreadsStaysWithinSC(t *testing.T) {
+	for _, tst := range Tests() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			outcomes, err := Observe(pthreads.New(), tst, 10)
+			if err != nil {
+				t.Fatalf("%s: %v", tst.Name, err)
+			}
+			allowed := map[Outcome]bool{}
+			for _, o := range tst.AllowedSC {
+				allowed[o] = true
+			}
+			for _, o := range outcomes {
+				if !allowed[o] {
+					t.Fatalf("%s: pthreads produced non-SC outcome %q (allowed %v)",
+						tst.Name, o, tst.AllowedSC)
+				}
+			}
+		})
+	}
+}
+
+// TestOutcomeRendering pins the Outcome format the tables rely on.
+func TestOutcomeRendering(t *testing.T) {
+	if outcome(1, 0) != "r0=1 r1=0" {
+		t.Fatalf("outcome rendering changed: %q", outcome(1, 0))
+	}
+	var rt api.Runtime = core.New(core.DefaultOptions())
+	if rt.Name() != "rfdet-ci" {
+		t.Fatal("unexpected runtime")
+	}
+}

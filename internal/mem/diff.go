@@ -1,0 +1,102 @@
+package mem
+
+// Run is a maximal run of modified bytes: the value Data was written starting
+// at address Addr. Runs are the byte-granularity <addr, data> modification
+// pairs of §4.2, batched into contiguous spans for efficiency. Byte
+// granularity is required for correctness under the C++ memory model (§4.6);
+// the batching does not change semantics because a run is exactly a sequence
+// of adjacent single-byte modifications.
+type Run struct {
+	Addr uint64
+	Data []byte
+}
+
+// End returns the first address past the run.
+func (r Run) End() uint64 { return r.Addr + uint64(len(r.Data)) }
+
+// DiffPage compares a page snapshot against the page's current contents and
+// returns the modification runs (the page-diffing step at slice end, §4.2).
+// Bytes whose final value equals the snapshot value are excluded — including
+// bytes that were overwritten with the same value — which is what implements
+// the deterministic "prefer local writes when the remote write is redundant"
+// conflict policy discussed in §4.6.
+func DiffPage(pageID PageID, snapshot, current []byte) []Run {
+	base := PageAddr(pageID)
+	var runs []Run
+	i := 0
+	n := len(current)
+	if len(snapshot) < n {
+		n = len(snapshot)
+	}
+	for i < n {
+		if snapshot[i] == current[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && snapshot[j] != current[j] {
+			j++
+		}
+		data := make([]byte, j-i)
+		copy(data, current[i:j])
+		runs = append(runs, Run{Addr: base + uint64(i), Data: data})
+		i = j
+	}
+	return runs
+}
+
+// RunBytes returns the total number of modified bytes across runs.
+func RunBytes(runs []Run) uint64 {
+	var n uint64
+	for _, r := range runs {
+		n += uint64(len(r.Data))
+	}
+	return n
+}
+
+// ApplyRuns writes the modification runs into the space, bypassing
+// protection faults: propagation applies remote modifications between
+// slices, so the writes must not be monitored as local modifications
+// (§4.3). In-order application makes later runs overwrite earlier ones,
+// implementing the deterministic "remote modifications overwrite local
+// modifications" conflict policy.
+func (s *Space) ApplyRuns(runs []Run) {
+	for _, r := range runs {
+		s.applyRun(r)
+	}
+}
+
+func (s *Space) applyRun(r Run) {
+	a := r.Addr
+	data := r.Data
+	for len(data) > 0 {
+		id := PageOf(a)
+		off := a & PageMask
+		n := copy(s.writablePage(id).Data[off:], data)
+		data = data[n:]
+		a += uint64(n)
+	}
+}
+
+// SplitRunsByPage groups runs by the page they touch, splitting runs that
+// straddle page boundaries. Used by the lazy-writes optimization, which pends
+// modifications per page (§4.5).
+func SplitRunsByPage(runs []Run) map[PageID][]Run {
+	out := make(map[PageID][]Run)
+	for _, r := range runs {
+		a := r.Addr
+		data := r.Data
+		for len(data) > 0 {
+			id := PageOf(a)
+			room := PageSize - int(a&PageMask)
+			n := len(data)
+			if n > room {
+				n = room
+			}
+			out[id] = append(out[id], Run{Addr: a, Data: data[:n:n]})
+			a += uint64(n)
+			data = data[n:]
+		}
+	}
+	return out
+}

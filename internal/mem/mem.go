@@ -1,0 +1,373 @@
+// Package mem implements the simulated paged address space that substitutes
+// for the paper's clone()-separated process memories (paper §4, Figure 3).
+//
+// Each logical thread owns a Space: a sparse page table over a shared virtual
+// address range. Cloning a Space (thread creation, §4.1) shares pages
+// copy-on-write, so the child inherits the parent's memory exactly as a
+// cloned process would. Per-page protection bits model mprotect for the
+// RFDet-pf monitor, the DThreads baseline, and the lazy-writes optimization
+// (§4.5): a protected page cannot be accessed through the checked fast path
+// and takes a simulated fault instead.
+//
+// All methods of a Space must be called only by its owning thread, mirroring
+// the paper's design where a process touches only its own address space;
+// pages themselves are immutable while shared (copy-on-write), so concurrent
+// readers of a shared page never race with a writer.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the simulated page size in bytes (4 KiB, as on the
+	// paper's x86-64 testbed).
+	PageSize = 1 << PageShift
+	// PageMask extracts the offset within a page.
+	PageMask = PageSize - 1
+)
+
+// PageID identifies a page: address >> PageShift.
+type PageID uint64
+
+// PageOf returns the page containing address a.
+func PageOf(a uint64) PageID { return PageID(a >> PageShift) }
+
+// PageAddr returns the first address of page p.
+func PageAddr(p PageID) uint64 { return uint64(p) << PageShift }
+
+// Prot is a per-page protection mode, modelling mprotect.
+type Prot uint8
+
+const (
+	// ProtRW allows reads and writes through the fast path.
+	ProtRW Prot = iota
+	// ProtRead write-protects the page: stores fault (RFDet-pf first-touch
+	// detection, DThreads twin creation).
+	ProtRead
+	// ProtNone makes any access fault (lazy-writes pages with pending
+	// remote modifications, §4.5).
+	ProtNone
+)
+
+// Page is a 4 KiB page with a copy-on-write reference count. A page with
+// refs > 1 is immutable; writers must copy it first.
+type Page struct {
+	refs int32
+	Data [PageSize]byte
+}
+
+// NewPage returns a fresh zeroed page with one reference.
+func NewPage() *Page { return &Page{refs: 1} }
+
+// Ref increments the reference count (the page becomes shared).
+func (p *Page) Ref() { atomic.AddInt32(&p.refs, 1) }
+
+// Unref decrements the reference count.
+func (p *Page) Unref() { atomic.AddInt32(&p.refs, -1) }
+
+// Shared reports whether the page is referenced by more than one space.
+func (p *Page) Shared() bool { return atomic.LoadInt32(&p.refs) > 1 }
+
+// FaultHandler is invoked when an access hits a protected page, before the
+// access proceeds. It stands in for the SIGSEGV handler of the paper's
+// implementation. The handler typically snapshots the page and lowers its
+// protection via the Space it closed over; the access then retries the
+// protection check not at all — it simply proceeds, as a faulting
+// instruction restarts after mprotect in the real system.
+type FaultHandler func(p PageID, write bool)
+
+// Space is one thread's private view of the shared address range.
+type Space struct {
+	pages map[PageID]*Page
+	// prot holds explicit per-page protections; pages without an entry use
+	// defaultProt. ProtectAll works by swapping defaultProt (one "mprotect
+	// of the whole mapping"), which also covers pages that are not resident
+	// yet: a store that materializes a fresh page must still fault.
+	prot        map[PageID]Prot
+	defaultProt Prot
+	// onFault handles simulated protection faults; nil means protections
+	// are ignored (pthreads mode).
+	onFault FaultHandler
+	// zero is returned for reads of unmapped pages.
+	zero Page
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{
+		pages: make(map[PageID]*Page),
+		prot:  make(map[PageID]Prot),
+	}
+}
+
+// SetFaultHandler installs the simulated SIGSEGV handler.
+func (s *Space) SetFaultHandler(h FaultHandler) { s.onFault = h }
+
+// Clone returns a copy-on-write duplicate of s, as a child process would
+// inherit its parent's memory through clone() (§4.1). Protections are not
+// inherited; the child starts with all pages ProtRW.
+func (s *Space) Clone() *Space {
+	c := NewSpace()
+	for id, p := range s.pages {
+		p.Ref()
+		c.pages[id] = p
+	}
+	c.onFault = nil
+	return c
+}
+
+// Release drops all page references held by s. The space must not be used
+// afterwards.
+func (s *Space) Release() {
+	for id, p := range s.pages {
+		p.Unref()
+		delete(s.pages, id)
+	}
+}
+
+// PageCount returns the number of resident pages.
+func (s *Space) PageCount() int { return len(s.pages) }
+
+// ResidentBytes returns the resident size of this space in bytes.
+func (s *Space) ResidentBytes() uint64 { return uint64(len(s.pages)) * PageSize }
+
+// PrivateBytes returns the bytes of pages exclusively owned by this space
+// (copied rather than shared), the per-thread extra footprint of §5.4.
+func (s *Space) PrivateBytes() uint64 {
+	var n uint64
+	for _, p := range s.pages {
+		if !p.Shared() {
+			n += PageSize
+		}
+	}
+	return n
+}
+
+// Pages calls fn for each resident page in ascending PageID order.
+func (s *Space) Pages(fn func(PageID, *Page)) {
+	ids := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fn(id, s.pages[id])
+	}
+}
+
+// readPage returns the page for reading; unmapped pages read as zeros.
+func (s *Space) readPage(id PageID) *Page {
+	if p, ok := s.pages[id]; ok {
+		return p
+	}
+	return &s.zero
+}
+
+// writablePage returns a page that may be written in place, performing the
+// copy-on-write if the page is shared or absent.
+func (s *Space) writablePage(id PageID) *Page {
+	p, ok := s.pages[id]
+	if !ok {
+		p = NewPage()
+		s.pages[id] = p
+		return p
+	}
+	if p.Shared() {
+		np := NewPage()
+		np.Data = p.Data
+		p.Unref()
+		s.pages[id] = np
+		return np
+	}
+	return p
+}
+
+// checkFault fires the fault handler if page id is protected against the
+// given access. The handler is expected to lower the protection; the access
+// then proceeds.
+func (s *Space) checkFault(id PageID, write bool) {
+	if s.onFault == nil || (s.defaultProt == ProtRW && len(s.prot) == 0) {
+		return
+	}
+	pr, ok := s.prot[id]
+	if !ok {
+		pr = s.defaultProt
+	}
+	switch pr {
+	case ProtNone:
+		s.onFault(id, write)
+	case ProtRead:
+		if write {
+			s.onFault(id, write)
+		}
+	}
+}
+
+// Protect sets the protection of page id, overriding any whole-mapping
+// protection installed by ProtectAll.
+func (s *Space) Protect(id PageID, pr Prot) {
+	if pr == ProtRW && s.defaultProt == ProtRW {
+		delete(s.prot, id)
+		return
+	}
+	s.prot[id] = pr
+}
+
+// ProtectionOf returns the effective protection of page id.
+func (s *Space) ProtectionOf(id PageID) Prot {
+	if pr, ok := s.prot[id]; ok {
+		return pr
+	}
+	return s.defaultProt
+}
+
+// ProtectAll protects the entire mapping — resident pages and pages yet to
+// be materialized — clearing per-page overrides, and returns the number of
+// resident pages for cost accounting. It models the per-slice "mprotect the
+// whole shared mapping" pass of the page-protection monitor (§4.2), whose
+// per-page kernel cost is the reason RFDet-pf is slower than RFDet-ci on
+// sync-heavy programs.
+func (s *Space) ProtectAll(pr Prot) int {
+	s.defaultProt = pr
+	for id := range s.prot {
+		delete(s.prot, id)
+	}
+	return len(s.pages)
+}
+
+// ClearProtections removes all page protections.
+func (s *Space) ClearProtections() {
+	s.defaultProt = ProtRW
+	for id := range s.prot {
+		delete(s.prot, id)
+	}
+}
+
+// Load8 reads one byte.
+func (s *Space) Load8(a uint64) uint8 {
+	id := PageOf(a)
+	s.checkFault(id, false)
+	return s.readPage(id).Data[a&PageMask]
+}
+
+// Store8 writes one byte.
+func (s *Space) Store8(a uint64, v uint8) {
+	id := PageOf(a)
+	s.checkFault(id, true)
+	s.writablePage(id).Data[a&PageMask] = v
+}
+
+// Load32 reads a little-endian uint32 (may straddle a page boundary).
+func (s *Space) Load32(a uint64) uint32 {
+	if a&PageMask <= PageSize-4 {
+		id := PageOf(a)
+		s.checkFault(id, false)
+		return binary.LittleEndian.Uint32(s.readPage(id).Data[a&PageMask:])
+	}
+	var buf [4]byte
+	s.ReadBytes(a, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Store32 writes a little-endian uint32 (may straddle a page boundary).
+func (s *Space) Store32(a uint64, v uint32) {
+	if a&PageMask <= PageSize-4 {
+		id := PageOf(a)
+		s.checkFault(id, true)
+		binary.LittleEndian.PutUint32(s.writablePage(id).Data[a&PageMask:], v)
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	s.WriteBytes(a, buf[:])
+}
+
+// Load64 reads a little-endian uint64 (may straddle a page boundary).
+func (s *Space) Load64(a uint64) uint64 {
+	if a&PageMask <= PageSize-8 {
+		id := PageOf(a)
+		s.checkFault(id, false)
+		return binary.LittleEndian.Uint64(s.readPage(id).Data[a&PageMask:])
+	}
+	var buf [8]byte
+	s.ReadBytes(a, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Store64 writes a little-endian uint64 (may straddle a page boundary).
+func (s *Space) Store64(a uint64, v uint64) {
+	if a&PageMask <= PageSize-8 {
+		id := PageOf(a)
+		s.checkFault(id, true)
+		binary.LittleEndian.PutUint64(s.writablePage(id).Data[a&PageMask:], v)
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	s.WriteBytes(a, buf[:])
+}
+
+// ReadBytes fills buf from memory starting at a.
+func (s *Space) ReadBytes(a uint64, buf []byte) {
+	for len(buf) > 0 {
+		id := PageOf(a)
+		s.checkFault(id, false)
+		off := a & PageMask
+		n := copy(buf, s.readPage(id).Data[off:])
+		buf = buf[n:]
+		a += uint64(n)
+	}
+}
+
+// WriteBytes copies data into memory starting at a.
+func (s *Space) WriteBytes(a uint64, data []byte) {
+	for len(data) > 0 {
+		id := PageOf(a)
+		s.checkFault(id, true)
+		off := a & PageMask
+		n := copy(s.writablePage(id).Data[off:], data)
+		data = data[n:]
+		a += uint64(n)
+	}
+}
+
+// Snapshot returns a copy of page id's current contents, the page snapshot
+// taken on first write in a slice (Figure 4 of the paper).
+func (s *Space) Snapshot(id PageID) []byte {
+	snap := make([]byte, PageSize)
+	copy(snap, s.readPage(id).Data[:])
+	return snap
+}
+
+// PageData returns the current contents of page id for read-only use (the
+// returned slice aliases the live page; do not retain it across writes).
+func (s *Space) PageData(id PageID) []byte {
+	return s.readPage(id).Data[:]
+}
+
+// Hash folds every resident page into a 64-bit FNV digest, in ascending page
+// order. Zero pages that were never mapped do not contribute; a mapped page
+// that holds zeros does, so the digest is a deterministic function of the
+// store history.
+func (s *Space) Hash() uint64 {
+	h := fnv.New64a()
+	var idbuf [8]byte
+	s.Pages(func(id PageID, p *Page) {
+		binary.LittleEndian.PutUint64(idbuf[:], uint64(id))
+		h.Write(idbuf[:])
+		h.Write(p.Data[:])
+	})
+	return h.Sum64()
+}
+
+// String summarizes the space for debugging.
+func (s *Space) String() string {
+	return fmt.Sprintf("Space{pages: %d, resident: %d B}", len(s.pages), s.ResidentBytes())
+}

@@ -1,0 +1,328 @@
+// Package replay implements a record-and-replay (R+R) system for the
+// pthreads baseline, the alternative technology the paper contrasts DMT
+// against in §2 ("Record and Replay").
+//
+// The recorder wraps the nondeterministic pthreads runtime and logs the
+// total order of synchronization operations (which thread performed which
+// operation, in global sequence). The replayer re-executes the program,
+// forcing each synchronization operation to wait for its recorded global
+// sequence number — reproducing the recorded interleaving.
+//
+// The comparison the paper draws (§2) is quantified here and exercised in
+// the benchmarks:
+//
+//   - An R+R system must persist one log entry per synchronization
+//     operation (Report.Stats exposes the count; BenchmarkRecordingOverhead
+//     reports bytes/run), while a DMT system records *only the input*.
+//   - R+R replays one recorded execution; DMT makes every execution — the
+//     first one included — identical.
+//
+// Limitation (inherent to sync-order R+R, noted in §2's citations): an
+// execution of a program with data races is reproduced faithfully only up
+// to scheduling at synchronization granularity; racy accesses between sync
+// points that the host scheduler interleaved differently are not captured.
+// Full-fidelity R+R for racy programs needs memory-access logging, which is
+// exactly why the paper argues DMT's "record inputs only" is cheaper.
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"rfdet/internal/api"
+	"rfdet/internal/pthreads"
+)
+
+// EventKind identifies a recorded synchronization operation.
+type EventKind uint8
+
+// Recorded operation kinds.
+const (
+	EvLock EventKind = iota
+	EvUnlock
+	EvWait
+	EvSignal
+	EvBroadcast
+	EvBarrier
+	EvSpawn
+	EvJoin
+	EvAtomic
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvLock:
+		return "lock"
+	case EvUnlock:
+		return "unlock"
+	case EvWait:
+		return "wait"
+	case EvSignal:
+		return "signal"
+	case EvBroadcast:
+		return "broadcast"
+	case EvBarrier:
+		return "barrier"
+	case EvSpawn:
+		return "spawn"
+	case EvJoin:
+		return "join"
+	default:
+		return "atomic"
+	}
+}
+
+// Event is one log entry: thread tid performed a kind-operation on addr as
+// the seq-th synchronization operation of the execution.
+type Event struct {
+	Seq  uint64
+	Tid  api.ThreadID
+	Kind EventKind
+	Addr api.Addr
+}
+
+// EncodedSize is the on-disk footprint of one event (seq may be implicit;
+// tid, kind, addr are not): the per-operation recording cost a DMT system
+// avoids (§2).
+const EncodedSize = 4 + 1 + 8
+
+// Log is a recorded synchronization order.
+type Log struct {
+	Events []Event
+}
+
+// Bytes returns the log's encoded size — the recording overhead an R+R
+// system pays beyond recording inputs.
+func (l *Log) Bytes() uint64 { return uint64(len(l.Events)) * EncodedSize }
+
+// Recorder executes programs on the pthreads baseline while logging the
+// global synchronization order.
+type Recorder struct{}
+
+// NewRecorder returns an R+R recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Name implements api.Runtime.
+func (r *Recorder) Name() string { return "pthreads-record" }
+
+// Record runs the program and returns both the report and the recorded log.
+func (r *Recorder) Record(main api.ThreadFunc) (*api.Report, *Log, error) {
+	log := &Log{}
+	var mu sync.Mutex
+	rec := func(tid api.ThreadID, kind EventKind, addr api.Addr) {
+		mu.Lock()
+		log.Events = append(log.Events, Event{
+			Seq:  uint64(len(log.Events)),
+			Tid:  tid,
+			Kind: kind,
+			Addr: addr,
+		})
+		mu.Unlock()
+	}
+	rep, err := pthreads.New().Run(func(t api.Thread) {
+		main(&recordingThread{Thread: t, rec: rec})
+	})
+	return rep, log, err
+}
+
+// Run implements api.Runtime (discarding the log).
+func (r *Recorder) Run(main api.ThreadFunc) (*api.Report, error) {
+	rep, _, err := r.Record(main)
+	return rep, err
+}
+
+// recordingThread decorates a pthreads thread, logging each sync op after
+// it completes (completion order is the order that matters for replay).
+type recordingThread struct {
+	api.Thread
+	rec func(api.ThreadID, EventKind, api.Addr)
+}
+
+func (t *recordingThread) Lock(m api.Addr) {
+	t.Thread.Lock(m)
+	t.rec(t.ID(), EvLock, m)
+}
+
+func (t *recordingThread) Unlock(m api.Addr) {
+	t.rec(t.ID(), EvUnlock, m)
+	t.Thread.Unlock(m)
+}
+
+func (t *recordingThread) Wait(c, m api.Addr) {
+	t.Thread.Wait(c, m)
+	t.rec(t.ID(), EvWait, c)
+}
+
+func (t *recordingThread) Signal(c api.Addr) {
+	t.Thread.Signal(c)
+	t.rec(t.ID(), EvSignal, c)
+}
+
+func (t *recordingThread) Broadcast(c api.Addr) {
+	t.Thread.Broadcast(c)
+	t.rec(t.ID(), EvBroadcast, c)
+}
+
+func (t *recordingThread) Barrier(b api.Addr, n int) {
+	t.Thread.Barrier(b, n)
+	t.rec(t.ID(), EvBarrier, b)
+}
+
+func (t *recordingThread) Spawn(fn api.ThreadFunc) api.ThreadID {
+	id := t.Thread.Spawn(func(c api.Thread) {
+		fn(&recordingThread{Thread: c, rec: t.rec})
+	})
+	t.rec(t.ID(), EvSpawn, api.Addr(id))
+	return id
+}
+
+func (t *recordingThread) Join(id api.ThreadID) {
+	t.Thread.Join(id)
+	t.rec(t.ID(), EvJoin, api.Addr(id))
+}
+
+func (t *recordingThread) AtomicAdd64(a api.Addr, delta uint64) uint64 {
+	v := t.Thread.AtomicAdd64(a, delta)
+	t.rec(t.ID(), EvAtomic, a)
+	return v
+}
+
+func (t *recordingThread) AtomicCAS64(a api.Addr, old, new uint64) bool {
+	ok := t.Thread.AtomicCAS64(a, old, new)
+	t.rec(t.ID(), EvAtomic, a)
+	return ok
+}
+
+// Replayer re-executes a program under the recorded synchronization order.
+type Replayer struct {
+	log *Log
+}
+
+// NewReplayer returns a replayer for the given log.
+func NewReplayer(log *Log) *Replayer { return &Replayer{log: log} }
+
+// Name implements api.Runtime.
+func (r *Replayer) Name() string { return "pthreads-replay" }
+
+// Run re-executes the program, admitting synchronization operations in the
+// recorded global order.
+func (r *Replayer) Run(main api.ThreadFunc) (*api.Report, error) {
+	seq := &sequencer{log: r.log}
+	seq.cond = sync.NewCond(&seq.mu)
+	rep, err := pthreads.New().Run(func(t api.Thread) {
+		main(&replayThread{Thread: t, seq: seq})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if serr := seq.err(); serr != nil {
+		return nil, serr
+	}
+	return rep, nil
+}
+
+// sequencer admits one synchronization operation at a time, in log order.
+type sequencer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	log    *Log
+	next   int
+	failed error
+}
+
+// await blocks tid until the next log entry names it with the given kind,
+// then consumes the entry.
+func (s *sequencer) await(tid api.ThreadID, kind EventKind, addr api.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.failed != nil {
+			return
+		}
+		if s.next >= len(s.log.Events) {
+			s.failed = fmt.Errorf("replay: log exhausted at thread %d %s %#x", tid, kind, uint64(addr))
+			s.cond.Broadcast()
+			return
+		}
+		ev := s.log.Events[s.next]
+		if ev.Tid == tid && ev.Kind == kind {
+			s.next++
+			s.cond.Broadcast()
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *sequencer) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.next != len(s.log.Events) {
+		return fmt.Errorf("replay: execution diverged: %d of %d events consumed", s.next, len(s.log.Events))
+	}
+	return nil
+}
+
+// replayThread gates each synchronization operation on the sequencer.
+type replayThread struct {
+	api.Thread
+	seq *sequencer
+}
+
+func (t *replayThread) Lock(m api.Addr) {
+	t.seq.await(t.ID(), EvLock, m)
+	t.Thread.Lock(m)
+}
+
+func (t *replayThread) Unlock(m api.Addr) {
+	t.seq.await(t.ID(), EvUnlock, m)
+	t.Thread.Unlock(m)
+}
+
+func (t *replayThread) Wait(c, m api.Addr) {
+	// The wait's position in the log is its wakeup; the underlying wait
+	// must proceed so the recorded signaler can run.
+	t.Thread.Wait(c, m)
+	t.seq.await(t.ID(), EvWait, c)
+}
+
+func (t *replayThread) Signal(c api.Addr) {
+	t.seq.await(t.ID(), EvSignal, c)
+	t.Thread.Signal(c)
+}
+
+func (t *replayThread) Broadcast(c api.Addr) {
+	t.seq.await(t.ID(), EvBroadcast, c)
+	t.Thread.Broadcast(c)
+}
+
+func (t *replayThread) Barrier(b api.Addr, n int) {
+	t.Thread.Barrier(b, n)
+	t.seq.await(t.ID(), EvBarrier, b)
+}
+
+func (t *replayThread) Spawn(fn api.ThreadFunc) api.ThreadID {
+	id := t.Thread.Spawn(func(c api.Thread) {
+		fn(&replayThread{Thread: c, seq: t.seq})
+	})
+	t.seq.await(t.ID(), EvSpawn, api.Addr(id))
+	return id
+}
+
+func (t *replayThread) Join(id api.ThreadID) {
+	t.Thread.Join(id)
+	t.seq.await(t.ID(), EvJoin, api.Addr(id))
+}
+
+func (t *replayThread) AtomicAdd64(a api.Addr, delta uint64) uint64 {
+	t.seq.await(t.ID(), EvAtomic, a)
+	return t.Thread.AtomicAdd64(a, delta)
+}
+
+func (t *replayThread) AtomicCAS64(a api.Addr, old, new uint64) bool {
+	t.seq.await(t.ID(), EvAtomic, a)
+	return t.Thread.AtomicCAS64(a, old, new)
+}

@@ -1,0 +1,180 @@
+package replay
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+// lockStepProgram is race-free but schedule-dependent: the value of x
+// depends on the order in which threads win the lock, so faithful replay
+// must reproduce the recorded order exactly.
+func lockStepProgram(t api.Thread) {
+	x := t.Malloc(8)
+	order := t.Malloc(8 * 64)
+	idx := t.Malloc(8)
+	mu := api.Addr(64)
+	var ids []api.ThreadID
+	for w := 0; w < 4; w++ {
+		me := uint64(w + 1)
+		ids = append(ids, t.Spawn(func(c api.Thread) {
+			for k := 0; k < 10; k++ {
+				c.Lock(mu)
+				v := c.Load64(x)
+				c.Store64(x, v*7+me) // non-commutative: order-sensitive
+				i := c.Load64(idx)
+				if i < 64 {
+					c.Store64(order+api.Addr(8*i), me)
+					c.Store64(idx, i+1)
+				}
+				c.Unlock(mu)
+			}
+		}))
+	}
+	for _, id := range ids {
+		t.Join(id)
+	}
+	t.Observe(t.Load64(x))
+	for i := 0; i < 40; i++ {
+		t.Observe(t.Load64(order + api.Addr(8*i)))
+	}
+}
+
+func TestRecordThenReplayReproduces(t *testing.T) {
+	rec := NewRecorder()
+	recRep, log, err := rec.Record(lockStepProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) == 0 {
+		t.Fatal("empty log")
+	}
+	// Locks: 40 lock + 40 unlock + 4 spawn + 4 join = 88 events.
+	if len(log.Events) != 88 {
+		t.Fatalf("log has %d events, want 88", len(log.Events))
+	}
+	if log.Bytes() != 88*EncodedSize {
+		t.Fatalf("Bytes() = %d", log.Bytes())
+	}
+	for i := 0; i < 3; i++ {
+		repRep, err := NewReplayer(log).Run(lockStepProgram)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if len(repRep.Observations[0]) != len(recRep.Observations[0]) {
+			t.Fatal("observation length mismatch")
+		}
+		for j, v := range recRep.Observations[0] {
+			if repRep.Observations[0][j] != v {
+				t.Fatalf("replay %d diverged at observation %d: %d != %d",
+					i, j, repRep.Observations[0][j], v)
+			}
+		}
+	}
+}
+
+func TestReplayCondVars(t *testing.T) {
+	prog := func(t api.Thread) {
+		mu, cond := api.Addr(64), api.Addr(128)
+		flag := t.Malloc(8)
+		got := t.Malloc(8)
+		id := t.Spawn(func(c api.Thread) {
+			c.Lock(mu)
+			for c.Load64(flag) == 0 {
+				c.Wait(cond, mu)
+			}
+			c.Store64(got, c.Load64(flag)*2)
+			c.Unlock(mu)
+		})
+		t.Lock(mu)
+		t.Store64(flag, 21)
+		t.Signal(cond)
+		t.Unlock(mu)
+		t.Join(id)
+		t.Observe(t.Load64(got))
+	}
+	recRep, log, err := NewRecorder().Record(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRep, err := NewReplayer(log).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recRep.Observations[0][0] != 42 || repRep.Observations[0][0] != 42 {
+		t.Fatalf("results: record %v, replay %v", recRep.Observations[0], repRep.Observations[0])
+	}
+}
+
+func TestReplayAtomics(t *testing.T) {
+	prog := func(t api.Thread) {
+		ctr := t.Malloc(8)
+		var ids []api.ThreadID
+		for i := 0; i < 3; i++ {
+			ids = append(ids, t.Spawn(func(c api.Thread) {
+				for k := 0; k < 5; k++ {
+					c.AtomicAdd64(ctr, 1)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+		t.Observe(t.Load64(ctr))
+	}
+	_, log, err := NewRecorder().Record(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(log).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations[0][0] != 15 {
+		t.Fatalf("counter = %d", rep.Observations[0][0])
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	// Replaying a different program against the log must fail, not hang or
+	// silently succeed.
+	progA := func(t api.Thread) {
+		mu := api.Addr(64)
+		t.Lock(mu)
+		t.Unlock(mu)
+	}
+	progB := func(t api.Thread) {
+		mu := api.Addr(64)
+		t.Lock(mu)
+		t.Unlock(mu)
+		t.Lock(mu) // extra op not in the log
+		t.Unlock(mu)
+	}
+	_, log, err := NewRecorder().Record(progA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayer(log).Run(progB); err == nil {
+		t.Fatal("expected divergence error")
+	}
+	// Too few operations is also divergence.
+	_, logB, err := NewRecorder().Record(progB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayer(logB).Run(progA); err == nil {
+		t.Fatal("expected under-consumption error")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvLock, EvUnlock, EvWait, EvSignal, EvBroadcast, EvBarrier, EvSpawn, EvJoin, EvAtomic}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}

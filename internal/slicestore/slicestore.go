@@ -1,0 +1,184 @@
+// Package slicestore implements slices and the shared metadata space that
+// holds them (paper §4.2, §4.5).
+//
+// A slice is the paper's triple <tid, modifications, timestamp>: the
+// byte-granularity memory updates of one synchronization-free stretch of one
+// thread's execution, stamped with a vector clock. Slices are immutable once
+// committed; threads exchange them by pointer during memory modification
+// propagation (§4.3), so the store also plays the role of the paper's
+// metadata space: it accounts for the memory slices and page snapshots
+// consume and triggers garbage collection when usage crosses a threshold.
+package slicestore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rfdet/internal/mem"
+	"rfdet/internal/vclock"
+)
+
+// Slice is one synchronization-free execution slice's modifications.
+type Slice struct {
+	// ID is a store-unique identifier (diagnostics only; determinism never
+	// depends on it).
+	ID uint64
+	// Tid is the thread that executed the slice.
+	Tid int32
+	// Time is the slice's vector-clock timestamp: the owning thread's clock
+	// when the slice ended. Slice A happens-before slice B iff
+	// A.Time < B.Time (§4.2).
+	Time vclock.VC
+	// Mods is the ordered modification list, as byte runs.
+	Mods []mem.Run
+	// Bytes caches mem.RunBytes(Mods).
+	Bytes uint64
+}
+
+// Cost returns the metadata-space bytes charged for the slice: the run
+// payloads plus a fixed per-run and per-slice overhead approximating the
+// paper's modification-list representation.
+func (s *Slice) Cost() uint64 {
+	return 64 + uint64(len(s.Mods))*24 + s.Bytes
+}
+
+const (
+	// DefaultCapacity is the paper's metadata-space size (256 MB, §5.4).
+	DefaultCapacity = 256 << 20
+	// DefaultGCThresholdPct triggers GC at 90% usage (§5.4).
+	DefaultGCThresholdPct = 90
+)
+
+// Store is the metadata space: the registry of live slices plus usage
+// accounting for slices and transient page snapshots.
+type Store struct {
+	mu           sync.Mutex
+	slices       map[uint64]*Slice
+	nextID       uint64
+	capacity     uint64
+	gcThreshold  uint64
+	used         int64 // slices + snapshots, bytes
+	highWater    int64
+	gcCount      uint64
+	totalCreated uint64
+}
+
+// NewStore returns a metadata space with the given capacity (0 means
+// DefaultCapacity) and GC threshold percentage (0 means 90).
+func NewStore(capacity uint64, thresholdPct int) *Store {
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	if thresholdPct <= 0 || thresholdPct > 100 {
+		thresholdPct = DefaultGCThresholdPct
+	}
+	return &Store{
+		slices:      make(map[uint64]*Slice),
+		capacity:    capacity,
+		gcThreshold: capacity / 100 * uint64(thresholdPct),
+	}
+}
+
+// Capacity returns the configured metadata-space size.
+func (st *Store) Capacity() uint64 { return st.capacity }
+
+// AllocSnapshot charges one page snapshot to the metadata space (taken on
+// the first write to a page within a slice, Figure 4).
+func (st *Store) AllocSnapshot() { st.charge(mem.PageSize) }
+
+// FreeSnapshot releases one page snapshot's accounting: the paper frees
+// snapshot memory immediately after the byte-granularity modification list
+// is built by page diffing (§5.4).
+func (st *Store) FreeSnapshot() { st.charge(-mem.PageSize) }
+
+func (st *Store) charge(delta int64) {
+	used := atomic.AddInt64(&st.used, delta)
+	for {
+		hw := atomic.LoadInt64(&st.highWater)
+		if used <= hw || atomic.CompareAndSwapInt64(&st.highWater, hw, used) {
+			return
+		}
+	}
+}
+
+// Commit registers a finished slice and reports whether usage has crossed
+// the GC threshold, in which case the caller should garbage-collect.
+func (st *Store) Commit(s *Slice) (needGC bool) {
+	st.mu.Lock()
+	st.nextID++
+	s.ID = st.nextID
+	st.slices[s.ID] = s
+	st.totalCreated++
+	st.mu.Unlock()
+	st.charge(int64(s.Cost()))
+	return uint64(atomic.LoadInt64(&st.used)) >= st.gcThreshold
+}
+
+// Collect removes every slice whose timestamp is ≤ frontier: such slices
+// have been merged into the local memory of every thread (§4.5, "Garbage
+// Collection") and can never again pass a propagation filter. It returns the
+// number of slices reclaimed.
+func (st *Store) Collect(frontier vclock.VC) int {
+	st.mu.Lock()
+	var victims []*Slice
+	for id, s := range st.slices {
+		if s.Time.Leq(frontier) {
+			victims = append(victims, s)
+			delete(st.slices, id)
+		}
+	}
+	st.gcCount++
+	st.mu.Unlock()
+	var freed int64
+	for _, s := range victims {
+		freed += int64(s.Cost())
+	}
+	st.charge(-freed)
+	return len(victims)
+}
+
+// Used returns the current metadata-space usage in bytes.
+func (st *Store) Used() uint64 { return uint64(atomic.LoadInt64(&st.used)) }
+
+// HighWater returns the metadata-space usage high-water mark (the
+// MetadataSpaceMemory term in §5.4's footprint equation).
+func (st *Store) HighWater() uint64 { return uint64(atomic.LoadInt64(&st.highWater)) }
+
+// GCCount returns the number of Collect passes (Table 1, "GC").
+func (st *Store) GCCount() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gcCount
+}
+
+// Live returns the number of live slices.
+func (st *Store) Live() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.slices)
+}
+
+// TotalCreated returns the number of slices ever committed.
+func (st *Store) TotalCreated() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.totalCreated
+}
+
+// TrimList filters a slice-pointer list in place, dropping slices with
+// timestamps ≤ frontier, and returns the retained list. Threads call this
+// during GC so their slice-pointer lists (§4.3) do not retain collected
+// slices.
+func TrimList(list []*Slice, frontier vclock.VC) []*Slice {
+	out := list[:0]
+	for _, s := range list {
+		if !s.Time.Leq(frontier) {
+			out = append(out, s)
+		}
+	}
+	// Zero the tail so collected slices become unreachable.
+	for i := len(out); i < len(list); i++ {
+		list[i] = nil
+	}
+	return out
+}

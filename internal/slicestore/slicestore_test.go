@@ -1,0 +1,168 @@
+package slicestore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfdet/internal/mem"
+	"rfdet/internal/vclock"
+)
+
+func mkSlice(tid int32, time vclock.VC, nbytes int) *Slice {
+	return &Slice{
+		Tid:   tid,
+		Time:  time,
+		Mods:  []mem.Run{{Addr: 0, Data: make([]byte, nbytes)}},
+		Bytes: uint64(nbytes),
+	}
+}
+
+func TestCommitAccountsUsage(t *testing.T) {
+	st := NewStore(1<<20, 90)
+	s := mkSlice(0, vclock.VC{1}, 100)
+	if st.Commit(s) {
+		t.Fatal("tiny commit should not trigger GC")
+	}
+	if st.Used() != s.Cost() {
+		t.Fatalf("Used = %d, want %d", st.Used(), s.Cost())
+	}
+	if st.Live() != 1 || st.TotalCreated() != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+	if s.ID == 0 {
+		t.Fatal("commit must assign an ID")
+	}
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	st := NewStore(0, 0)
+	st.AllocSnapshot()
+	st.AllocSnapshot()
+	if st.Used() != 2*mem.PageSize {
+		t.Fatalf("Used = %d", st.Used())
+	}
+	st.FreeSnapshot()
+	if st.Used() != mem.PageSize {
+		t.Fatalf("Used = %d", st.Used())
+	}
+	if st.HighWater() != 2*mem.PageSize {
+		t.Fatalf("HighWater = %d", st.HighWater())
+	}
+}
+
+func TestGCThreshold(t *testing.T) {
+	// Capacity 100 KiB, threshold 90%: commits must report needGC once
+	// usage crosses 90 KiB.
+	st := NewStore(100*1024, 90)
+	triggered := false
+	for i := 0; i < 100; i++ {
+		if st.Commit(mkSlice(0, vclock.VC{uint64(i)}, 1024)) {
+			triggered = true
+			break
+		}
+	}
+	if !triggered {
+		t.Fatal("GC threshold never triggered")
+	}
+}
+
+func TestCollectReclaimsOnlyDominated(t *testing.T) {
+	st := NewStore(0, 0)
+	old := mkSlice(0, vclock.VC{1, 0}, 10)
+	mid := mkSlice(1, vclock.VC{0, 2}, 10)
+	young := mkSlice(0, vclock.VC{3, 3}, 10)
+	st.Commit(old)
+	st.Commit(mid)
+	st.Commit(young)
+	// Frontier [2,2]: old (≤) is garbage, mid (0,2 ≤ 2,2) is garbage,
+	// young is not.
+	n := st.Collect(vclock.VC{2, 2})
+	if n != 2 {
+		t.Fatalf("collected %d, want 2", n)
+	}
+	if st.Live() != 1 {
+		t.Fatalf("live = %d, want 1", st.Live())
+	}
+	if st.GCCount() != 1 {
+		t.Fatalf("GCCount = %d", st.GCCount())
+	}
+	if st.Used() != young.Cost() {
+		t.Fatalf("Used = %d, want %d", st.Used(), young.Cost())
+	}
+}
+
+// TestCollectNeverReclaimsNeeded is the GC safety property: a slice
+// concurrent with (or newer than) the frontier survives.
+func TestCollectNeverReclaimsNeeded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := NewStore(0, 0)
+		mk := func() vclock.VC {
+			v := make(vclock.VC, 3)
+			for i := range v {
+				v[i] = uint64(r.Intn(5))
+			}
+			return v
+		}
+		var slices []*Slice
+		for i := 0; i < 30; i++ {
+			s := mkSlice(int32(i%3), mk(), 8)
+			slices = append(slices, s)
+			st.Commit(s)
+		}
+		frontier := mk()
+		st.Collect(frontier)
+		// Every survivor must not be ≤ frontier; every collected slice must
+		// be ≤ frontier.
+		for _, s := range slices {
+			want := !s.Time.Leq(frontier)
+			got := false
+			for id := range st.slices {
+				if st.slices[id] == s {
+					got = true
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimList(t *testing.T) {
+	a := mkSlice(0, vclock.VC{1}, 1)
+	b := mkSlice(0, vclock.VC{5}, 1)
+	c := mkSlice(1, vclock.VC{0, 4}, 1)
+	list := []*Slice{a, b, c}
+	out := TrimList(list, vclock.VC{2, 2})
+	if len(out) != 2 || out[0] != b || out[1] != c {
+		t.Fatalf("TrimList kept %v", out)
+	}
+	// The freed tail must be zeroed so the GC can reclaim.
+	if list[2] != nil {
+		t.Fatal("trimmed tail not zeroed")
+	}
+}
+
+func TestCostIncludesOverheads(t *testing.T) {
+	s := mkSlice(0, vclock.VC{1}, 100)
+	if s.Cost() <= 100 {
+		t.Fatalf("Cost = %d should include per-slice and per-run overhead", s.Cost())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	st := NewStore(0, 0)
+	if st.Capacity() != DefaultCapacity {
+		t.Fatalf("default capacity = %d", st.Capacity())
+	}
+	st2 := NewStore(1000, 300) // out-of-range threshold falls back to 90
+	if st2.gcThreshold != 1000/100*90 {
+		t.Fatalf("threshold = %d", st2.gcThreshold)
+	}
+}

@@ -1,0 +1,52 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMax(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(4, 4) != 4 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestApplyCostMonotone(t *testing.T) {
+	f := func(runs, bytes uint16) bool {
+		c := ApplyCost(uint64(runs), uint64(bytes))
+		// More runs or more bytes never costs less.
+		return ApplyCost(uint64(runs)+1, uint64(bytes)) >= c &&
+			ApplyCost(uint64(runs), uint64(bytes)+8) >= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostOrdering pins the relative magnitudes the model depends on: the
+// figures reproduce the paper only while a fault costs far more than a page
+// copy, which costs far more than a memory op.
+func TestCostOrdering(t *testing.T) {
+	if !(Fault > SnapshotPage && SnapshotPage > ProtectPage && ProtectPage > MemOp) {
+		t.Fatal("cost ordering violated: fault > page copy > mprotect/page > memop must hold")
+	}
+	if DiffPage < SnapshotPage {
+		t.Fatal("a byte-by-byte diff should cost at least a page copy")
+	}
+	if ThreadSpawn < 100*SyncBase/10 {
+		t.Fatal("thread creation should dwarf a single sync op")
+	}
+}
+
+func TestApplyCostBandwidth(t *testing.T) {
+	// One page of modifications in one run must cost on the order of a
+	// page copy — not a page of single-byte operations (which would be
+	// 4096·MemOp ≈ 12 µs-scale).
+	pageCost := ApplyCost(1, 4096)
+	if pageCost > 3*SnapshotPage || pageCost < SnapshotPage/4 {
+		t.Fatalf("bulk apply cost %d out of line with page copy %d", pageCost, SnapshotPage)
+	}
+	if pageCost >= 4096*MemOp {
+		t.Fatalf("bulk apply cost %d should be far below per-byte pricing %d", pageCost, 4096*MemOp)
+	}
+}

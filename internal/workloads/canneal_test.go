@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"testing"
+
+	"rfdet/internal/core"
+	"rfdet/internal/dthreads"
+)
+
+// TestCannealDeterministicViaAtomics exercises the §4.6 extension claim:
+// canneal, which the paper excludes because its lock-free swaps are ad hoc
+// synchronization, runs deterministically once those swaps use the
+// low-level atomics interface.
+func TestCannealDeterministicViaAtomics(t *testing.T) {
+	w, err := ByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Threads: 4, Size: SizeSmall}
+	for _, opts := range []core.Options{core.DefaultOptions(), {Monitor: core.MonitorPF}} {
+		rt := core.New(opts)
+		var first uint64
+		for i := 0; i < 3; i++ {
+			rep, err := rt.Run(w.Prog(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Stats.AtomicsOps == 0 {
+				t.Fatal("canneal did not use the atomics extension")
+			}
+			if rep.Observations[0][1] == 0 {
+				t.Fatal("no moves accepted: the annealing loop is dead")
+			}
+			if i == 0 {
+				first = rep.OutputHash
+			} else if rep.OutputHash != first {
+				t.Fatalf("canneal nondeterministic under %s", rt.Name())
+			}
+		}
+	}
+	// The fence baselines handle it deterministically too (their atomics
+	// run in serial phases).
+	var first uint64
+	for i := 0; i < 2; i++ {
+		rep, err := dthreads.New().Run(w.Prog(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatal("canneal nondeterministic under dthreads")
+		}
+	}
+}

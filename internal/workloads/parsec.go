@@ -1,0 +1,351 @@
+package workloads
+
+import (
+	"rfdet/internal/api"
+)
+
+// BlackScholes is Parsec blackscholes: embarrassingly parallel option
+// pricing over disjoint bands with a single lock-based barrier before the
+// reduction (Table 1: 24 locks, 1 signal). Prices use fixed-point integer
+// arithmetic so every runtime produces identical results.
+func BlackScholes(cfg Config) api.ThreadFunc {
+	nopts := cfg.Size.pick(128, 4096, 16384)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		opts := t.Malloc(uint64(8 * 4 * nopts)) // S, K, r, v (fixed-point *1000)
+		prices := t.Malloc(uint64(8 * nopts))
+		bar := newBarrier(t, w)
+		r := newRNG(21)
+		for i := 0; i < nopts; i++ {
+			base := opts + api.Addr(8*4*i)
+			t.Store64(base, 500+r.next()%1000)   // spot
+			t.Store64(base+8, 500+r.next()%1000) // strike
+			t.Store64(base+16, 10+r.next()%90)   // rate
+			t.Store64(base+24, 100+r.next()%400) // volatility
+		}
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(nopts, me, w)
+			for i := lo; i < hi; i++ {
+				base := opts + api.Addr(8*4*i)
+				s := c.Load64(base)
+				k := c.Load64(base + 8)
+				rr := c.Load64(base + 16)
+				v := c.Load64(base + 24)
+				// A fixed-point surrogate for the Black-Scholes formula:
+				// moneyness and volatility terms combined through integer
+				// polynomials — the memory/compute profile matters here,
+				// not financial accuracy.
+				m := s * 1000 / k
+				d1 := (m + rr*10 + v*v/500) % 100000
+				d2 := d1 - v
+				price := (s*d1 - k*d2) / 1000
+				c.Store64(prices+api.Addr(8*i), price)
+				c.Tick(20)
+			}
+			bar.wait(c)
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, prices, nopts))
+	}
+}
+
+// Swaptions is Parsec swaptions: Monte-Carlo simulation per swaption over
+// disjoint bands, fork/join with a trivial barrier (Table 1: 24 locks).
+func Swaptions(cfg Config) api.ThreadFunc {
+	nswap := cfg.Size.pick(4, 16, 32)
+	trials := cfg.Size.pick(16, 200, 800)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		results := t.Malloc(uint64(8 * nswap))
+		bar := newBarrier(t, w)
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(nswap, me, w)
+			for s := lo; s < hi; s++ {
+				r := newRNG(uint64(s)*2654435761 + 1)
+				var acc uint64
+				for tr := 0; tr < trials; tr++ {
+					// Simulated short-rate path, fixed-point.
+					rate := uint64(500)
+					for step := 0; step < 8; step++ {
+						rate = (rate*99+r.next()%20)/100 + 1
+						c.Tick(3)
+					}
+					payoff := rate * rate % 100000
+					acc += payoff
+				}
+				c.Store64(results+api.Addr(8*s), acc/uint64(trials))
+			}
+			bar.wait(c)
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, results, nswap))
+	}
+}
+
+// queue is a bounded multi-producer/multi-consumer queue in shared memory,
+// built from a mutex and two condition variables — the pipeline plumbing of
+// dedup and ferret, and the source of their heavy lock/wait/signal traffic
+// in Table 1.
+type queue struct {
+	mu, notEmpty, notFull api.Addr
+	head, tail, count     api.Addr
+	closed                api.Addr
+	buf                   api.Addr
+	cap                   int
+}
+
+func newQueue(t api.Thread, capacity int) *queue {
+	base := t.Malloc(uint64(64 + 8*capacity))
+	return &queue{
+		mu:       base,
+		notEmpty: base + 8,
+		notFull:  base + 16,
+		head:     base + 24,
+		tail:     base + 32,
+		count:    base + 40,
+		closed:   base + 48,
+		buf:      base + 64,
+		cap:      capacity,
+	}
+}
+
+// push enqueues v, blocking while the queue is full.
+func (q *queue) push(t api.Thread, v uint64) {
+	t.Lock(q.mu)
+	for t.Load64(q.count) == uint64(q.cap) {
+		t.Wait(q.notFull, q.mu)
+	}
+	tail := t.Load64(q.tail)
+	t.Store64(q.buf+api.Addr(8*tail), v)
+	t.Store64(q.tail, (tail+1)%uint64(q.cap))
+	t.Store64(q.count, t.Load64(q.count)+1)
+	t.Signal(q.notEmpty)
+	t.Unlock(q.mu)
+}
+
+// pop dequeues a value; ok is false once the queue is closed and drained.
+func (q *queue) pop(t api.Thread) (v uint64, ok bool) {
+	t.Lock(q.mu)
+	for t.Load64(q.count) == 0 && t.Load64(q.closed) == 0 {
+		t.Wait(q.notEmpty, q.mu)
+	}
+	if t.Load64(q.count) == 0 {
+		t.Unlock(q.mu)
+		return 0, false
+	}
+	head := t.Load64(q.head)
+	v = t.Load64(q.buf + api.Addr(8*head))
+	t.Store64(q.head, (head+1)%uint64(q.cap))
+	t.Store64(q.count, t.Load64(q.count)-1)
+	t.Signal(q.notFull)
+	t.Unlock(q.mu)
+	return v, true
+}
+
+// close marks the queue closed and wakes all consumers.
+func (q *queue) close(t api.Thread) {
+	t.Lock(q.mu)
+	t.Store64(q.closed, 1)
+	t.Broadcast(q.notEmpty)
+	t.Unlock(q.mu)
+}
+
+// Dedup is Parsec dedup: a three-stage pipeline (chunk → deduplicate →
+// "compress"/write) over bounded queues, the second-heaviest
+// synchronization profile in Table 1 (9304 locks, 152 waits, 3599 signals).
+// Deduplication state is partitioned by chunk hash so any number of
+// dedupers race-freely share the fingerprint table.
+func Dedup(cfg Config) api.ThreadFunc {
+	nchunks := cfg.Size.pick(32, 600, 2400)
+	// The fingerprint table must comfortably hold every unique chunk
+	// (three quarters of the stream is unique by construction).
+	tableSlots := cfg.Size.pick(256, 2048, 8192)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		if w < 2 {
+			w = 2
+		}
+		q1 := newQueue(t, 16)
+		q2 := newQueue(t, 16)
+		table := t.Malloc(uint64(16 * tableSlots)) // fingerprint, seen-count
+		tableLock := t.Malloc(8)
+		outSum := t.Malloc(8)
+		outDup := t.Malloc(8)
+
+		ndedup := w - 1 // one writer, the rest deduplicate; main produces
+		dedupDone := t.Malloc(8)
+		doneLock := t.Malloc(8)
+
+		var ids []api.ThreadID
+		for d := 0; d < ndedup; d++ {
+			ids = append(ids, t.Spawn(func(c api.Thread) {
+				for {
+					v, ok := q1.pop(c)
+					if !ok {
+						break
+					}
+					// Fingerprint the chunk.
+					fp := v
+					fp ^= fp >> 33
+					fp *= 0xff51afd7ed558ccd
+					fp ^= fp >> 33
+					if fp == 0 {
+						fp = 1
+					}
+					slot := int(fp % uint64(tableSlots))
+					c.Lock(tableLock)
+					dup := uint64(0)
+					for probe := 0; probe < tableSlots; probe++ {
+						sa := table + api.Addr(16*slot)
+						cur := c.Load64(sa)
+						if cur == fp {
+							c.Store64(sa+8, c.Load64(sa+8)+1)
+							dup = 1
+							break
+						}
+						if cur == 0 {
+							c.Store64(sa, fp)
+							c.Store64(sa+8, 1)
+							break
+						}
+						slot = (slot + 1) % tableSlots
+					}
+					c.Unlock(tableLock)
+					q2.push(c, fp*2+dup)
+					c.Tick(30)
+				}
+				// Last deduper out closes the downstream queue.
+				c.Lock(doneLock)
+				d := c.Load64(dedupDone) + 1
+				c.Store64(dedupDone, d)
+				if int(d) == ndedup {
+					q2.close(c)
+				}
+				c.Unlock(doneLock)
+			}))
+		}
+		writer := t.Spawn(func(c api.Thread) {
+			for {
+				v, ok := q2.pop(c)
+				if !ok {
+					break
+				}
+				c.Store64(outSum, c.Load64(outSum)+v/2)
+				c.Store64(outDup, c.Load64(outDup)+v%2)
+				c.Tick(10)
+			}
+		})
+		// Main thread is the chunker/producer.
+		r := newRNG(3)
+		for i := 0; i < nchunks; i++ {
+			// Make real duplicates so the dedup path is exercised.
+			var chunk uint64
+			if r.next()%4 == 0 {
+				chunk = uint64(r.next() % 8)
+			} else {
+				chunk = r.next()
+			}
+			q1.push(t, chunk)
+		}
+		q1.close(t)
+		joinAll(t, ids)
+		t.Join(writer)
+		t.Observe(t.Load64(outSum), t.Load64(outDup))
+	}
+}
+
+// Ferret is Parsec ferret: a four-stage similarity-search pipeline
+// (segment → extract → index → rank) over bounded queues, the heaviest
+// synchronization profile in Table 1 (43025 locks for 4 threads) with very
+// little computation per item.
+func Ferret(cfg Config) api.ThreadFunc {
+	nitems := cfg.Size.pick(32, 800, 4000)
+	return func(t api.Thread) {
+		q1 := newQueue(t, 8)
+		q2 := newQueue(t, 8)
+		q3 := newQueue(t, 8)
+		rank := t.Malloc(8 * 8) // top-8 ranking, lock-free (single ranker)
+
+		stage := func(in, out *queue, f func(c api.Thread, v uint64) uint64) api.ThreadFunc {
+			return func(c api.Thread) {
+				for {
+					v, ok := in.pop(c)
+					if !ok {
+						break
+					}
+					out.push(c, f(c, v))
+					c.Tick(5)
+				}
+				out.close(c)
+			}
+		}
+		extract := t.Spawn(stage(q1, q2, func(c api.Thread, v uint64) uint64 {
+			// "Feature extraction": a little mixing.
+			v ^= v << 13
+			v ^= v >> 7
+			return v
+		}))
+		index := t.Spawn(stage(q2, q3, func(c api.Thread, v uint64) uint64 {
+			// "Index probe": fold to a similarity score.
+			return (v % 100003) * 17
+		}))
+		ranker := t.Spawn(func(c api.Thread) {
+			for {
+				v, ok := q3.pop(c)
+				if !ok {
+					break
+				}
+				// Keep the max-8 scores, insertion style.
+				for s := 0; s < 8; s++ {
+					slot := rank + api.Addr(8*s)
+					cur := c.Load64(slot)
+					if v > cur {
+						c.Store64(slot, v)
+						v = cur
+					}
+				}
+				c.Tick(12)
+			}
+		})
+		// Main is the segmenter/producer.
+		r := newRNG(17)
+		for i := 0; i < nitems; i++ {
+			q1.push(t, r.next())
+		}
+		q1.close(t)
+		t.Join(extract)
+		t.Join(index)
+		t.Join(ranker)
+		t.Observe(checksumRange(t, rank, 8))
+	}
+}
+
+// Racey is the determinism stress test of §5.1 (Hill & Xu): threads mix a
+// shared signature array through intentional data races — reads and writes
+// with no synchronization at all. Any scheduling or visibility
+// nondeterminism changes the final signature; a DMT runtime must produce
+// the same signature on every run.
+func Racey(cfg Config) api.ThreadFunc {
+	iters := cfg.Size.pick(64, 2048, 16384)
+	const sigWords = 64
+	return func(t api.Thread) {
+		w := cfg.Threads
+		sig := t.Malloc(8 * sigWords)
+		for i := 0; i < sigWords; i++ {
+			t.Store64(sig+api.Addr(8*i), uint64(i)*0x9e3779b97f4a7c15+1)
+		}
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			r := newRNG(uint64(me) + 1)
+			for i := 0; i < iters; i++ {
+				// The racey kernel: read two racy cells, mix, write a third.
+				a := c.Load64(sig + api.Addr(8*(r.next()%sigWords)))
+				b := c.Load64(sig + api.Addr(8*(r.next()%sigWords)))
+				mix := a*31 + b + uint64(me)
+				c.Store64(sig+api.Addr(8*((a+b)%sigWords)), mix)
+				c.Tick(5)
+			}
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, sig, sigWords))
+	}
+}

@@ -1,0 +1,313 @@
+package workloads
+
+import (
+	"rfdet/internal/api"
+)
+
+// LinearRegression is Phoenix linear_regression: a pure fork/join map-reduce
+// over a point set with no locking at all (Table 1: 0 locks, 16 forks) —
+// the kernel where RFDet's only cost is thread isolation.
+func LinearRegression(cfg Config) api.ThreadFunc {
+	npoints := cfg.Size.pick(512, 16384, 65536)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		points := t.Malloc(uint64(16 * npoints)) // (x, y) pairs
+		partial := t.Malloc(uint64(8 * 4 * w))   // per-worker Σx, Σy, Σxy, Σxx
+		r := newRNG(2024)
+		for i := 0; i < npoints; i++ {
+			x := r.next() % 1000
+			t.Store64(points+api.Addr(16*i), x)
+			t.Store64(points+api.Addr(16*i+8), 3*x+7+(r.next()%11))
+		}
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(npoints, me, w)
+			var sx, sy, sxy, sxx uint64
+			for i := lo; i < hi; i++ {
+				x := c.Load64(points + api.Addr(16*i))
+				y := c.Load64(points + api.Addr(16*i+8))
+				sx += x
+				sy += y
+				sxy += x * y
+				sxx += x * x
+				c.Tick(6)
+			}
+			base := partial + api.Addr(8*4*me)
+			c.Store64(base, sx)
+			c.Store64(base+8, sy)
+			c.Store64(base+16, sxy)
+			c.Store64(base+24, sxx)
+		})
+		joinAll(t, ids)
+		var sx, sy, sxy, sxx uint64
+		for me := 0; me < w; me++ {
+			base := partial + api.Addr(8*4*me)
+			sx += t.Load64(base)
+			sy += t.Load64(base + 8)
+			sxy += t.Load64(base + 16)
+			sxx += t.Load64(base + 24)
+		}
+		n := uint64(npoints)
+		// Fixed-point slope: (n·Σxy − Σx·Σy) · 1000 / (n·Σxx − Σx²).
+		num := n*sxy - sx*sy
+		den := n*sxx - sx*sx
+		t.Observe(num*1000/den, sx, sy)
+	}
+}
+
+// MatrixMultiply is Phoenix matrix_multiply: C = A·B with workers owning
+// disjoint row bands; fork/join only (Table 1: 0 locks).
+func MatrixMultiply(cfg Config) api.ThreadFunc {
+	n := cfg.Size.pick(8, 28, 48)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		a := t.Malloc(uint64(8 * n * n))
+		b := t.Malloc(uint64(8 * n * n))
+		cm := t.Malloc(uint64(8 * n * n))
+		r := newRNG(11)
+		for i := 0; i < n*n; i++ {
+			t.Store64(a+api.Addr(8*i), r.next()%100)
+			t.Store64(b+api.Addr(8*i), r.next()%100)
+		}
+		at := func(m api.Addr, i, j int) api.Addr { return m + api.Addr(8*(i*n+j)) }
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(n, me, w)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					var sum uint64
+					for k := 0; k < n; k++ {
+						sum += c.Load64(at(a, i, k)) * c.Load64(at(b, k, j))
+						c.Tick(2)
+					}
+					c.Store64(at(cm, i, j), sum)
+				}
+			}
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, cm, n*n))
+	}
+}
+
+// PCA is Phoenix pca: two fork/join phases (row means, then covariance)
+// using a lock-guarded dynamic work queue for row assignment — the Phoenix
+// kernel with meaningful lock traffic (Table 1: 816 locks, 32 forks). The
+// dynamic schedule changes who computes each row but not any row's result,
+// so the output is identical on every runtime.
+func PCA(cfg Config) api.ThreadFunc {
+	rows := cfg.Size.pick(8, 48, 96)
+	cols := cfg.Size.pick(8, 32, 48)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		data := t.Malloc(uint64(8 * rows * cols))
+		means := t.Malloc(uint64(8 * rows))
+		cov := t.Malloc(uint64(8 * rows)) // diagonal of the covariance matrix
+		next := t.Malloc(8)               // dynamic work counter
+		nextLock := t.Malloc(8)
+		r := newRNG(31)
+		for i := 0; i < rows*cols; i++ {
+			t.Store64(data+api.Addr(8*i), r.next()%1000)
+		}
+		at := func(i, j int) api.Addr { return data + api.Addr(8*(i*cols+j)) }
+
+		// Phase 1: row means via the dynamic queue.
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			for {
+				c.Lock(nextLock)
+				row := c.Load64(next)
+				c.Store64(next, row+1)
+				c.Unlock(nextLock)
+				if int(row) >= rows {
+					return
+				}
+				var sum uint64
+				for j := 0; j < cols; j++ {
+					sum += c.Load64(at(int(row), j))
+					c.Tick(2)
+				}
+				c.Store64(means+api.Addr(8*row), sum/uint64(cols))
+			}
+		})
+		joinAll(t, ids)
+
+		// Phase 2: per-row variance via a second fork (Phoenix forks per
+		// map-reduce phase, hence Table 1's fork count of 32).
+		t.Store64(next, 0)
+		ids = spawnWorkers(t, w, func(c api.Thread, me int) {
+			for {
+				c.Lock(nextLock)
+				row := c.Load64(next)
+				c.Store64(next, row+1)
+				c.Unlock(nextLock)
+				if int(row) >= rows {
+					return
+				}
+				mean := c.Load64(means + api.Addr(8*row))
+				var acc uint64
+				for j := 0; j < cols; j++ {
+					v := c.Load64(at(int(row), j))
+					d := v - mean // wraps deterministically for v < mean
+					acc += d * d
+					c.Tick(3)
+				}
+				c.Store64(cov+api.Addr(8*row), acc)
+			}
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, means, rows), checksumRange(t, cov, rows))
+	}
+}
+
+// WordCount is Phoenix wordcount: workers hash the words of disjoint text
+// shards into per-worker tables; the main thread merges (Table 1: 0 locks,
+// 60 forks — Phoenix forks per phase; we fork one mapper wave plus reducer
+// waves).
+func WordCount(cfg Config) api.ThreadFunc {
+	textLen := cfg.Size.pick(1024, 16384, 65536)
+	// Per-worker open-addressing table of (hash, count) pairs, sized so the
+	// mostly-unique random words keep the load factor low.
+	tableSlots := cfg.Size.pick(512, 8192, 32768)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		text := t.Malloc(uint64(textLen))
+		tables := t.Malloc(uint64(16 * tableSlots * w))
+		// Deterministic "text": words of 1-7 lowercase letters.
+		r := newRNG(77)
+		buf := make([]byte, textLen)
+		for i := range buf {
+			if r.next()%6 == 0 {
+				buf[i] = ' '
+			} else {
+				buf[i] = byte('a' + r.next()%26)
+			}
+		}
+		t.WriteBytes(text, buf)
+		slotAt := func(me, s int) api.Addr { return tables + api.Addr(16*(me*tableSlots+s)) }
+
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(textLen, me, w)
+			// Shard at word boundaries: skip a partial leading word.
+			if lo > 0 {
+				for lo < hi && c.Load8(text+api.Addr(lo-1)) != ' ' {
+					lo++
+				}
+			}
+			h := uint64(0xcbf29ce484222325)
+			inWord := false
+			emit := func(hash uint64) {
+				s := int(hash % uint64(tableSlots))
+				for probe := 0; probe < tableSlots; probe++ {
+					slot := slotAt(me, s)
+					cur := c.Load64(slot)
+					if cur == hash {
+						c.Store64(slot+8, c.Load64(slot+8)+1)
+						return
+					}
+					if cur == 0 {
+						c.Store64(slot, hash)
+						c.Store64(slot+8, 1)
+						return
+					}
+					s = (s + 1) % tableSlots
+				}
+				// Table full: count the word in the overflow slot 0 so no
+				// occurrence is silently dropped.
+				c.Store64(slotAt(me, 0)+8, c.Load64(slotAt(me, 0)+8)+1)
+			}
+			for i := lo; ; i++ {
+				var b byte
+				if i < textLen {
+					b = c.Load8(text + api.Addr(i))
+				}
+				if b != ' ' && i < textLen {
+					// A word starting at or beyond the shard end belongs to
+					// the next worker.
+					if !inWord && i >= hi {
+						break
+					}
+					h = checksum64(h, uint64(b))
+					inWord = true
+				} else {
+					if inWord {
+						if h == 0 {
+							h = 1
+						}
+						emit(h)
+						h = 0xcbf29ce484222325
+						inWord = false
+					}
+					// Stop after finishing the word that spans the shard end.
+					if i >= hi {
+						break
+					}
+				}
+				c.Tick(3)
+			}
+		})
+		joinAll(t, ids)
+		// Merge: fold every table entry commutatively (hash·count), so the
+		// result is independent of worker sharding details.
+		var total, words uint64
+		for me := 0; me < w; me++ {
+			for s := 0; s < tableSlots; s++ {
+				slot := slotAt(me, s)
+				h := t.Load64(slot)
+				if h != 0 {
+					cnt := t.Load64(slot + 8)
+					total += h * cnt
+					words += cnt
+				}
+			}
+		}
+		t.Observe(total, words)
+	}
+}
+
+// StringMatch is Phoenix string_match: workers scan disjoint shards of an
+// "encrypted" candidate list against a fixed key set; fork/join only.
+func StringMatch(cfg Config) api.ThreadFunc {
+	ncand := cfg.Size.pick(256, 8192, 32768)
+	const nkeys = 16
+	return func(t api.Thread) {
+		w := cfg.Threads
+		keys := t.Malloc(uint64(8 * nkeys))
+		cands := t.Malloc(uint64(8 * ncand))
+		found := t.Malloc(uint64(8 * w))
+		r := newRNG(13)
+		for i := 0; i < nkeys; i++ {
+			t.Store64(keys+api.Addr(8*i), r.next())
+		}
+		for i := 0; i < ncand; i++ {
+			var v uint64
+			if r.next()%64 == 0 {
+				v = t.Load64(keys + api.Addr(8*int(r.next()%nkeys)))
+			} else {
+				v = r.next()
+			}
+			// "Encrypt": xor with a fixed pad.
+			t.Store64(cands+api.Addr(8*i), v^0xdeadbeefcafef00d)
+		}
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(ncand, me, w)
+			var hits uint64
+			var key [nkeys]uint64
+			for k := 0; k < nkeys; k++ {
+				key[k] = c.Load64(keys + api.Addr(8*k))
+			}
+			for i := lo; i < hi; i++ {
+				v := c.Load64(cands+api.Addr(8*i)) ^ 0xdeadbeefcafef00d
+				for k := 0; k < nkeys; k++ {
+					if v == key[k] {
+						hits++
+					}
+				}
+				c.Tick(nkeys)
+			}
+			c.Store64(found+api.Addr(8*me), hits)
+		})
+		joinAll(t, ids)
+		var total uint64
+		for me := 0; me < w; me++ {
+			total += t.Load64(found + api.Addr(8*me))
+		}
+		t.Observe(total)
+	}
+}

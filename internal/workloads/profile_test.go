@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/core"
+)
+
+// profile runs a kernel under RFDet-ci and returns its stats — the Table 1
+// row for this reproduction.
+func profile(t *testing.T, name string, cfg Config) api.Stats {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.New(core.DefaultOptions()).Run(w.Prog(cfg))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rep.Stats
+}
+
+// TestTable1Signatures pins each kernel's synchronization signature to its
+// paper counterpart's shape (Table 1): which operations dominate, which are
+// absent, and the orderings between kernels that the paper's analysis
+// (§5.3) depends on.
+func TestTable1Signatures(t *testing.T) {
+	cfg := Config{Threads: 4, Size: SizeSmall}
+	stats := map[string]api.Stats{}
+	for _, name := range Names() {
+		stats[name] = profile(t, name, cfg)
+	}
+
+	// Phoenix fork/join kernels use no locks at all (Table 1 rows
+	// linear_regression, matrix_multiply, wordcount, string_match).
+	for _, name := range []string{"linear_regression", "matrix_multiply", "wordcount", "string_match"} {
+		if s := stats[name]; s.Locks != 0 || s.Waits != 0 {
+			t.Errorf("%s: expected a pure fork/join profile, got %d locks %d waits", name, s.Locks, s.Waits)
+		}
+		if s := stats[name]; s.Forks < 4 {
+			t.Errorf("%s: expected ≥4 forks, got %d", name, s.Forks)
+		}
+	}
+
+	// water-nsquared is the most lock-intensive SPLASH-2 kernel; the
+	// spatial variant uses far fewer locks (6314 vs 1103 in the paper).
+	if stats["water-ns"].Locks < 10*stats["water-sp"].Locks {
+		t.Errorf("water-ns (%d locks) should dwarf water-sp (%d locks)",
+			stats["water-ns"].Locks, stats["water-sp"].Locks)
+	}
+
+	// The pipeline kernels dominate the signal counts (dedup: 3599
+	// signals; ferret: heaviest lock traffic in the paper).
+	if stats["dedup"].Signals < 100 || stats["ferret"].Signals < 100 {
+		t.Errorf("pipeline kernels barely signaled: dedup %d, ferret %d",
+			stats["dedup"].Signals, stats["ferret"].Signals)
+	}
+	if stats["ferret"].Locks <= stats["blackscholes"].Locks {
+		t.Error("ferret should out-lock blackscholes by orders of magnitude")
+	}
+
+	// fft and lu have the largest memory-op counts of the SPLASH-2 set
+	// (Table 1: 163M and 287M; scaled here, the ordering survives).
+	fft, wsp := stats["fft"], stats["water-sp"]
+	if fft.MemOps() < wsp.MemOps() {
+		t.Error("fft should perform more memory ops than water-sp")
+	}
+	lu, oc := stats["lu-con"], stats["ocean"]
+	if lu.MemOps() < oc.MemOps() {
+		t.Error("lu should perform more memory ops than ocean")
+	}
+
+	// Loads outnumber stores everywhere except pure initialization
+	// patterns (§5.3: "the number of Store instructions is much smaller
+	// than the number of Load instructions").
+	for _, name := range []string{"ocean", "water-ns", "fft", "lu-con", "pca", "wordcount"} {
+		if s := stats[name]; s.Loads <= s.Stores {
+			t.Errorf("%s: loads (%d) should exceed stores (%d)", name, s.Loads, s.Stores)
+		}
+	}
+
+	// Only a small portion of stores trigger a page copy on the compute
+	// kernels (§5.3, column 9). Sync-dominated kernels (water-ns, dedup,
+	// ferret) legitimately snapshot on most slices — their slices hold only
+	// a handful of stores.
+	for _, name := range []string{"fft", "radix", "lu-con", "lu-non", "linear_regression",
+		"matrix_multiply", "blackscholes", "ocean"} {
+		s := stats[name]
+		if s.StoresWithCopy*10 > s.Stores {
+			t.Errorf("%s: %d of %d stores copied a page — first-touch detection is broken",
+				name, s.StoresWithCopy, s.Stores)
+		}
+	}
+
+	// lu-non dirties more pages than lu-con for the same computation
+	// (non-contiguous layout, Table 1's memory columns).
+	if stats["lu-non"].StoresWithCopy <= stats["lu-con"].StoresWithCopy {
+		t.Errorf("lu-non (%d page copies) should exceed lu-con (%d)",
+			stats["lu-non"].StoresWithCopy, stats["lu-con"].StoresWithCopy)
+	}
+
+	// RFDet's footprint is a multiple of the shared memory (§5.4:
+	// N*SharedMemory + metadata).
+	for _, name := range []string{"fft", "radix", "lu-non"} {
+		s := stats[name]
+		if s.RuntimeMemBytes < 4*s.SharedMemBytes {
+			t.Errorf("%s: runtime memory %d < 4×shared %d", name, s.RuntimeMemBytes, s.SharedMemBytes)
+		}
+	}
+}
+
+// TestForkJoinCounts pins the paper's convention that fork and join counts
+// match (Table 1 shows one number for both).
+func TestForkJoinCounts(t *testing.T) {
+	cfg := Config{Threads: 4, Size: SizeTest}
+	for _, name := range Names() {
+		s := profile(t, name, cfg)
+		if s.Forks != s.Joins {
+			t.Errorf("%s: forks %d != joins %d", name, s.Forks, s.Joins)
+		}
+		if s.Locks != s.Unlocks {
+			t.Errorf("%s: locks %d != unlocks %d", name, s.Locks, s.Unlocks)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package workloads
+
+import (
+	"rfdet/internal/api"
+)
+
+// Ocean reproduces SPLASH-2 ocean's profile: an iterative red-black
+// Gauss-Seidel sweep over a shared grid with two lock-based barriers per
+// iteration and a lock-guarded convergence reduction — the most
+// barrier-intensive kernel (Table 1: 1100 locks, 671 waits for 4 threads).
+func Ocean(cfg Config) api.ThreadFunc {
+	n := cfg.Size.pick(8, 24, 40)
+	iters := cfg.Size.pick(2, 8, 16)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		grid := t.Malloc(uint64(8 * n * n))
+		residual := t.Malloc(8)
+		resLock := t.Malloc(8)
+		bar := newBarrier(t, w)
+		at := func(i, j int) api.Addr { return grid + api.Addr(8*(i*n+j)) }
+		// Deterministic initial heights.
+		r := newRNG(42)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				t.Store64(at(i, j), r.next()%1000)
+			}
+		}
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			lo, hi := band(n-2, me, w)
+			lo, hi = lo+1, hi+1
+			for it := 0; it < iters; it++ {
+				for phase := 0; phase < 2; phase++ {
+					var localRes uint64
+					for i := lo; i < hi; i++ {
+						for j := 1; j < n-1; j++ {
+							if (i+j)%2 != phase {
+								continue
+							}
+							up := c.Load64(at(i-1, j))
+							down := c.Load64(at(i+1, j))
+							left := c.Load64(at(i, j-1))
+							right := c.Load64(at(i, j+1))
+							old := c.Load64(at(i, j))
+							val := (up + down + left + right) / 4
+							c.Store64(at(i, j), val)
+							if val > old {
+								localRes += val - old
+							} else {
+								localRes += old - val
+							}
+							c.Tick(4)
+						}
+					}
+					c.Lock(resLock)
+					c.Store64(residual, c.Load64(residual)+localRes)
+					c.Unlock(resLock)
+					bar.wait(c)
+				}
+			}
+		})
+		joinAll(t, ids)
+		h := checksumRange(t, grid, n*n)
+		t.Observe(h, t.Load64(residual))
+	}
+}
+
+// waterCommon implements the shared shape of water-nsquared and
+// water-spatial: per-timestep force accumulation into shared per-molecule
+// arrays guarded by fine-grained locks, then a private position update,
+// with lock-based barriers between phases. Forces are fixed-point integers
+// so the lock-order-independent sums are exact and identical on every
+// runtime.
+func waterCommon(cfg Config, spatial bool) api.ThreadFunc {
+	var nmol, steps int
+	if spatial {
+		nmol = cfg.Size.pick(12, 48, 96)
+		steps = cfg.Size.pick(1, 3, 4)
+	} else {
+		nmol = cfg.Size.pick(10, 40, 64)
+		steps = cfg.Size.pick(1, 3, 4)
+	}
+	return func(t api.Thread) {
+		w := cfg.Threads
+		pos := t.Malloc(uint64(8 * nmol))   // fixed-point positions
+		force := t.Malloc(uint64(8 * nmol)) // accumulated forces
+		locks := t.Malloc(uint64(8 * nmol)) // one lock per molecule (or cell)
+		bar := newBarrier(t, w)
+		r := newRNG(7)
+		for i := 0; i < nmol; i++ {
+			t.Store64(pos+api.Addr(8*i), r.next()%(1<<20))
+		}
+		lockAt := func(i int) api.Addr { return locks + api.Addr(8*i) }
+		posAt := func(i int) api.Addr { return pos + api.Addr(8*i) }
+		forceAt := func(i int) api.Addr { return force + api.Addr(8*i) }
+
+		// Cells for the spatial variant: molecule i is in cell i/cellSize,
+		// and only molecules in the same cell interact — far fewer pairs and
+		// locks than the n-squared variant, matching water-sp's lighter lock
+		// profile in Table 1 (1103 vs 6314 locks).
+		cellSize := 8
+		ncells := (nmol + cellSize - 1) / cellSize
+
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			for s := 0; s < steps; s++ {
+				if spatial {
+					clo, chi := band(ncells, me, w)
+					for cell := clo; cell < chi; cell++ {
+						mlo := cell * cellSize
+						mhi := mlo + cellSize
+						if mhi > nmol {
+							mhi = nmol
+						}
+						// One lock per cell guards its force updates.
+						c.Lock(lockAt(mlo))
+						for i := mlo; i < mhi; i++ {
+							for j := i + 1; j < mhi; j++ {
+								pi, pj := c.Load64(posAt(i)), c.Load64(posAt(j))
+								f := (pi ^ pj) % 1024
+								c.Store64(forceAt(i), c.Load64(forceAt(i))+f)
+								c.Store64(forceAt(j), c.Load64(forceAt(j))+f)
+								c.Tick(8)
+							}
+						}
+						c.Unlock(lockAt(mlo))
+					}
+				} else {
+					// n-squared: every pair, with per-molecule locks.
+					npairs := nmol * (nmol - 1) / 2
+					plo, phi := band(npairs, me, w)
+					pair := 0
+					for i := 0; i < nmol && pair < phi; i++ {
+						for j := i + 1; j < nmol && pair < phi; j++ {
+							if pair >= plo {
+								pi, pj := c.Load64(posAt(i)), c.Load64(posAt(j))
+								f := (pi ^ pj) % 1024
+								lo, hi := i, j
+								c.Lock(lockAt(lo))
+								c.Store64(forceAt(lo), c.Load64(forceAt(lo))+f)
+								c.Unlock(lockAt(lo))
+								c.Lock(lockAt(hi))
+								c.Store64(forceAt(hi), c.Load64(forceAt(hi))+f)
+								c.Unlock(lockAt(hi))
+								c.Tick(8)
+							}
+							pair++
+						}
+					}
+				}
+				bar.wait(c)
+				// Private position update over this worker's own molecules.
+				mlo, mhi := band(nmol, me, w)
+				for i := mlo; i < mhi; i++ {
+					f := c.Load64(forceAt(i))
+					c.Store64(posAt(i), (c.Load64(posAt(i))+f)%(1<<20))
+					c.Store64(forceAt(i), 0)
+					c.Tick(2)
+				}
+				bar.wait(c)
+			}
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, pos, nmol))
+	}
+}
+
+// WaterNS is SPLASH-2 water-nsquared: O(n²) pairwise interactions with
+// per-molecule locks — the most lock-intensive SPLASH-2 kernel in Table 1.
+func WaterNS(cfg Config) api.ThreadFunc { return waterCommon(cfg, false) }
+
+// WaterSP is SPLASH-2 water-spatial: cell-based interactions with one lock
+// per cell — far fewer synchronizations than water-nsquared.
+func WaterSP(cfg Config) api.ThreadFunc { return waterCommon(cfg, true) }
+
+// FFT is SPLASH-2 fft: a parallel iterative radix-2 FFT over a large shared
+// complex array, with a lock-based barrier per stage. Very few
+// synchronizations but the largest memory footprint (Table 1: 54 locks,
+// 384 MB) — under RFDet its overhead comes from big page snapshots, not
+// synchronization.
+func FFT(cfg Config) api.ThreadFunc {
+	logN := cfg.Size.pick(6, 10, 12)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		n := 1 << logN
+		// Complex values as (re, im) float64 pairs, plus a shared twiddle
+		// table indexed by k/n — as in SPLASH-2, the table is read far more
+		// than the data is written, giving fft its load-heavy profile.
+		re := t.Malloc(uint64(8 * n))
+		im := t.Malloc(uint64(8 * n))
+		twr := t.Malloc(uint64(8 * n / 2))
+		twi := t.Malloc(uint64(8 * n / 2))
+		bar := newBarrier(t, w)
+		r := newRNG(99)
+		for i := 0; i < n; i++ {
+			t.StoreF64(re+api.Addr(8*i), float64(r.next()%1000)/1000)
+			t.StoreF64(im+api.Addr(8*i), 0)
+		}
+		for k := 0; k < n/2; k++ {
+			ang := -2 * 3.141592653589793 * float64(k) / float64(n)
+			t.StoreF64(twr+api.Addr(8*k), cosApprox(ang))
+			t.StoreF64(twi+api.Addr(8*k), sinApprox(ang))
+		}
+		reAt := func(i int) api.Addr { return re + api.Addr(8*i) }
+		imAt := func(i int) api.Addr { return im + api.Addr(8*i) }
+
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			// Bit-reversal permutation: each worker swaps pairs (i, rev(i))
+			// with i < rev(i) in its band.
+			lo, hi := band(n, me, w)
+			for i := lo; i < hi; i++ {
+				j := 0
+				for b := 0; b < logN; b++ {
+					j |= ((i >> b) & 1) << (logN - 1 - b)
+				}
+				if i < j {
+					ri, rj := c.LoadF64(reAt(i)), c.LoadF64(reAt(j))
+					c.StoreF64(reAt(i), rj)
+					c.StoreF64(reAt(j), ri)
+					ii, ij := c.LoadF64(imAt(i)), c.LoadF64(imAt(j))
+					c.StoreF64(imAt(i), ij)
+					c.StoreF64(imAt(j), ii)
+				}
+				c.Tick(6)
+			}
+			bar.wait(c)
+			for s := 1; s <= logN; s++ {
+				m := 1 << s
+				half := m / 2
+				nblocks := n / m
+				blo, bhi := band(nblocks, me, w)
+				for b := blo; b < bhi; b++ {
+					base := b * m
+					for k := 0; k < half; k++ {
+						// Twiddle factors from the shared table: the stride
+						// n/m maps stage-local k to the table index.
+						wr := c.LoadF64(twr + api.Addr(8*(k*(n/m))))
+						wi := c.LoadF64(twi + api.Addr(8*(k*(n/m))))
+						i0, i1 := base+k, base+k+half
+						ar, ai := c.LoadF64(reAt(i0)), c.LoadF64(imAt(i0))
+						br, bi := c.LoadF64(reAt(i1)), c.LoadF64(imAt(i1))
+						tr := wr*br - wi*bi
+						ti := wr*bi + wi*br
+						c.StoreF64(reAt(i0), ar+tr)
+						c.StoreF64(imAt(i0), ai+ti)
+						c.StoreF64(reAt(i1), ar-tr)
+						c.StoreF64(imAt(i1), ai-ti)
+						c.Tick(12)
+					}
+				}
+				bar.wait(c)
+			}
+		})
+		joinAll(t, ids)
+		h := uint64(0xcbf29ce484222325)
+		for i := 0; i < n; i += 7 {
+			h = checksum64(h, t.Load64(reAt(i)))
+			h = checksum64(h, t.Load64(imAt(i)))
+		}
+		t.Observe(h)
+	}
+}
+
+// cosApprox/sinApprox are deterministic polynomial approximations — the
+// kernel needs reproducible values, not spectral accuracy.
+func cosApprox(x float64) float64 { return 1 - x*x/2 + x*x*x*x/24 - x*x*x*x*x*x/720 }
+func sinApprox(x float64) float64 { return x - x*x*x/6 + x*x*x*x*x/120 - x*x*x*x*x*x*x/5040 }
+
+// Radix is SPLASH-2 radix: a parallel radix sort with per-pass histogram,
+// prefix-sum and scatter phases separated by lock-based barriers (Table 1:
+// 96 locks, 39 waits).
+func Radix(cfg Config) api.ThreadFunc {
+	nkeys := cfg.Size.pick(256, 4096, 16384)
+	return func(t api.Thread) {
+		w := cfg.Threads
+		const radixBits = 8
+		const buckets = 1 << radixBits
+		src := t.Malloc(uint64(8 * nkeys))
+		dst := t.Malloc(uint64(8 * nkeys))
+		hist := t.Malloc(uint64(8 * buckets * w)) // per-worker histograms
+		offs := t.Malloc(uint64(8 * buckets * w)) // per-worker scatter offsets
+		bar := newBarrier(t, w)
+		r := newRNG(1234)
+		for i := 0; i < nkeys; i++ {
+			t.Store64(src+api.Addr(8*i), r.next()&0xffffffff)
+		}
+		histAt := func(wk, b int) api.Addr { return hist + api.Addr(8*(wk*buckets+b)) }
+		offAt := func(wk, b int) api.Addr { return offs + api.Addr(8*(wk*buckets+b)) }
+
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			from, to := src, dst
+			for pass := 0; pass < 32/radixBits; pass++ {
+				shift := uint(pass * radixBits)
+				lo, hi := band(nkeys, me, w)
+				for b := 0; b < buckets; b++ {
+					c.Store64(histAt(me, b), 0)
+				}
+				for i := lo; i < hi; i++ {
+					k := c.Load64(from + api.Addr(8*i))
+					b := int((k >> shift) & (buckets - 1))
+					c.Store64(histAt(me, b), c.Load64(histAt(me, b))+1)
+					c.Tick(3)
+				}
+				bar.wait(c)
+				if me == 0 {
+					// Global prefix sum over (bucket, worker) pairs.
+					var run uint64
+					for b := 0; b < buckets; b++ {
+						for wk := 0; wk < w; wk++ {
+							c.Store64(offAt(wk, b), run)
+							run += c.Load64(histAt(wk, b))
+						}
+					}
+				}
+				bar.wait(c)
+				for i := lo; i < hi; i++ {
+					k := c.Load64(from + api.Addr(8*i))
+					b := int((k >> shift) & (buckets - 1))
+					off := c.Load64(offAt(me, b))
+					c.Store64(to+api.Addr(8*off), k)
+					c.Store64(offAt(me, b), off+1)
+					c.Tick(4)
+				}
+				bar.wait(c)
+				from, to = to, from
+			}
+		})
+		joinAll(t, ids)
+		t.Observe(checksumRange(t, src, nkeys))
+	}
+}
+
+// luCommon is blocked LU factorization without pivoting. The two variants
+// differ only in memory layout: contiguous stores each block densely (few
+// dirty pages per slice), non-contiguous uses a row-major matrix so each
+// block touches one page per row (larger diffs and footprint — exactly why
+// lu-non behaves worse than lu-con under page-based DMT, §5.2/Table 1).
+func luCommon(cfg Config, contiguous bool) api.ThreadFunc {
+	n := cfg.Size.pick(16, 64, 96)
+	const bs = 8 // block size
+	return func(t api.Thread) {
+		w := cfg.Threads
+		nb := n / bs
+		// Non-contiguous layout: row-major with page-strided rows, as in a
+		// full-size SPLASH-2 matrix whose rows exceed a page — every block
+		// update dirties bs pages instead of one, which is what penalizes
+		// page-based DMT on lu-non (Figure 7, Table 1).
+		const rowStride = 4096 / 8
+		size := uint64(8 * n * n)
+		if !contiguous {
+			size = uint64(8 * n * rowStride)
+		}
+		matrix := t.Malloc(size)
+		bar := newBarrier(t, w)
+		// at returns the address of element (i,j) under the selected layout.
+		at := func(i, j int) api.Addr {
+			if contiguous {
+				bi, bj := i/bs, j/bs
+				oi, oj := i%bs, j%bs
+				return matrix + api.Addr(8*(((bi*nb+bj)*bs*bs)+oi*bs+oj))
+			}
+			return matrix + api.Addr(8*(i*rowStride+j))
+		}
+		// Diagonally dominant deterministic matrix (fixed-point int64 values
+		// stored as float64 for exact, order-independent arithmetic).
+		r := newRNG(5)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := float64(r.next()%100) + 1
+				if i == j {
+					v += float64(100 * n)
+				}
+				t.StoreF64(at(i, j), v)
+			}
+		}
+		owner := func(bi, bj int) int { return (bi*nb + bj) % w }
+
+		ids := spawnWorkers(t, w, func(c api.Thread, me int) {
+			for k := 0; k < nb; k++ {
+				// Factor the diagonal block (single owner).
+				if owner(k, k) == me {
+					for kk := k * bs; kk < (k+1)*bs; kk++ {
+						piv := c.LoadF64(at(kk, kk))
+						for i := kk + 1; i < (k+1)*bs; i++ {
+							l := c.LoadF64(at(i, kk)) / piv
+							c.StoreF64(at(i, kk), l)
+							for j := kk + 1; j < (k+1)*bs; j++ {
+								c.StoreF64(at(i, j), c.LoadF64(at(i, j))-l*c.LoadF64(at(kk, j)))
+								c.Tick(3)
+							}
+						}
+					}
+				}
+				bar.wait(c)
+				// Update the k-th block row and column.
+				for b := k + 1; b < nb; b++ {
+					if owner(k, b) == me { // row block (k, b)
+						for kk := k * bs; kk < (k+1)*bs; kk++ {
+							for i := kk + 1; i < (k+1)*bs; i++ {
+								l := c.LoadF64(at(i, kk))
+								for j := b * bs; j < (b+1)*bs; j++ {
+									c.StoreF64(at(i, j), c.LoadF64(at(i, j))-l*c.LoadF64(at(kk, j)))
+									c.Tick(3)
+								}
+							}
+						}
+					}
+					if owner(b, k) == me { // column block (b, k)
+						for kk := k * bs; kk < (k+1)*bs; kk++ {
+							piv := c.LoadF64(at(kk, kk))
+							for i := b * bs; i < (b+1)*bs; i++ {
+								l := c.LoadF64(at(i, kk)) / piv
+								c.StoreF64(at(i, kk), l)
+								for j := kk + 1; j < (k+1)*bs; j++ {
+									c.StoreF64(at(i, j), c.LoadF64(at(i, j))-l*c.LoadF64(at(kk, j)))
+									c.Tick(3)
+								}
+							}
+						}
+					}
+				}
+				bar.wait(c)
+				// Update the interior blocks.
+				for bi := k + 1; bi < nb; bi++ {
+					for bj := k + 1; bj < nb; bj++ {
+						if owner(bi, bj) != me {
+							continue
+						}
+						for i := bi * bs; i < (bi+1)*bs; i++ {
+							for kk := k * bs; kk < (k+1)*bs; kk++ {
+								l := c.LoadF64(at(i, kk))
+								for j := bj * bs; j < (bj+1)*bs; j++ {
+									c.StoreF64(at(i, j), c.LoadF64(at(i, j))-l*c.LoadF64(at(kk, j)))
+									c.Tick(3)
+								}
+							}
+						}
+					}
+				}
+				bar.wait(c)
+			}
+		})
+		joinAll(t, ids)
+		h := uint64(0xcbf29ce484222325)
+		for i := 0; i < n; i++ {
+			h = checksum64(h, t.Load64(at(i, i)))
+		}
+		t.Observe(h)
+	}
+}
+
+// LUContiguous is SPLASH-2 lu with contiguous block allocation.
+func LUContiguous(cfg Config) api.ThreadFunc { return luCommon(cfg, true) }
+
+// LUNonContiguous is SPLASH-2 lu with non-contiguous (row-major) blocks —
+// the workload DThreads handles worst in Figure 7 (~10x).
+func LUNonContiguous(cfg Config) api.ThreadFunc { return luCommon(cfg, false) }

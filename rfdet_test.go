@@ -1,0 +1,118 @@
+package rfdet_test
+
+import (
+	"testing"
+
+	"rfdet"
+)
+
+// TestPublicConstructors checks that every advertised runtime constructor
+// produces a working runtime with the documented name.
+func TestPublicConstructors(t *testing.T) {
+	cases := []struct {
+		rt   rfdet.Runtime
+		name string
+	}{
+		{rfdet.NewCI(), "rfdet-ci"},
+		{rfdet.NewPF(), "rfdet-pf"},
+		{rfdet.NewDThreads(), "dthreads"},
+		{rfdet.NewCoreDet(10000), "coredet"},
+		{rfdet.NewPThreads(), "pthreads"},
+		{rfdet.New(rfdet.Options{Monitor: rfdet.MonitorPF}), "rfdet-pf"},
+	}
+	for _, c := range cases {
+		if c.rt.Name() != c.name {
+			t.Fatalf("Name() = %q, want %q", c.rt.Name(), c.name)
+		}
+		rep, err := c.rt.Run(func(th rfdet.Thread) {
+			a := th.Malloc(8)
+			th.Store64(a, 41)
+			th.Observe(th.Load64(a) + 1)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Observations[0][0] != 42 {
+			t.Fatalf("%s: observed %v", c.name, rep.Observations[0])
+		}
+	}
+}
+
+// TestREADMEQuickstart runs the README's quick-start program verbatim and
+// checks its promised properties.
+func TestREADMEQuickstart(t *testing.T) {
+	rt := rfdet.NewCI()
+	prog := func(th rfdet.Thread) {
+		counter := th.Malloc(8)
+		mu := rfdet.Addr(64)
+		var ids []rfdet.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Spawn(func(th rfdet.Thread) {
+				th.Lock(mu)
+				th.Store64(counter, th.Load64(counter)+1)
+				th.Unlock(mu)
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(counter))
+	}
+	var first uint64
+	for i := 0; i < 5; i++ {
+		rep, err := rt.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Observations[0][0] != 4 {
+			t.Fatalf("counter = %d, want 4", rep.Observations[0][0])
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			t.Fatal("OutputHash varied across runs")
+		}
+	}
+}
+
+// TestRuntimeReuse verifies that one Runtime value supports repeated,
+// independent executions.
+func TestRuntimeReuse(t *testing.T) {
+	rt := rfdet.NewCI()
+	for i := uint64(0); i < 3; i++ {
+		i := i
+		rep, err := rt.Run(func(th rfdet.Thread) {
+			a := th.Malloc(8)
+			th.Store64(a, i)
+			th.Observe(th.Load64(a))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Observations[0][0] != i {
+			t.Fatalf("run %d observed %v", i, rep.Observations[0])
+		}
+	}
+}
+
+// TestStatsSurface spot-checks the re-exported Stats type.
+func TestStatsSurface(t *testing.T) {
+	rep, err := rfdet.NewCI().Run(func(th rfdet.Thread) {
+		mu := rfdet.Addr(64)
+		id := th.Spawn(func(c rfdet.Thread) {
+			c.Lock(mu)
+			c.Unlock(mu)
+		})
+		th.Join(id)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s rfdet.Stats = rep.Stats
+	if s.Locks != 1 || s.Unlocks != 1 || s.Forks != 1 || s.Joins != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MemOps() != s.Loads+s.Stores {
+		t.Fatal("MemOps helper broken")
+	}
+}
