@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify build test race bench fmt vet
+
+verify:
+	sh scripts/verify.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/ ./internal/slicestore/ ./internal/kendo/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 10x .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

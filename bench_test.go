@@ -284,6 +284,67 @@ func BenchmarkMetadataGrowth(b *testing.B) {
 	}
 }
 
+// BenchmarkMonitorContention stresses the decomposed global monitor: four
+// threads exchange multi-page slices through one contended lock plus a
+// shared atomic counter, so page diffing and slice application dominate and
+// any work left under the monitor serializes the run. Wall time (ns/op) is
+// the headline; monitor-acquires and the off-monitor diff-ns/apply-ns
+// breakdown are reported so regressions can be attributed.
+func BenchmarkMonitorContention(b *testing.B) {
+	const (
+		workers = 4
+		rounds  = 30
+		pages   = 8
+	)
+	prog := func(t rfdet.Thread) {
+		data := t.Malloc(pages * 4096)
+		sum := t.Malloc(8)
+		mu := rfdet.Addr(64)
+		var ids []rfdet.ThreadID
+		for w := 0; w < workers; w++ {
+			me := uint64(w + 1)
+			ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+				for round := 0; round < rounds; round++ {
+					t.Lock(mu)
+					for p := 0; p < pages; p++ {
+						base := data + rfdet.Addr(4096*p)
+						for i := 0; i < 64; i++ {
+							a := base + rfdet.Addr(8*i)
+							t.Store64(a, t.Load64(a)+me*0x0101010101010101)
+						}
+					}
+					t.Unlock(mu)
+					t.AtomicAdd64(sum, me)
+					t.Tick(100 * me)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+		t.Observe(t.Load64(data), t.Load64(sum))
+	}
+	rt := rfdet.NewCI()
+	var st rfdet.Stats
+	var first uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := rt.Run(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first = rep.OutputHash
+		} else if rep.OutputHash != first {
+			b.Fatal("contention benchmark nondeterministic across iterations")
+		}
+		st = rep.Stats
+	}
+	b.ReportMetric(float64(st.MonitorAcquires), "monitor-acquires")
+	b.ReportMetric(float64(st.DiffNanos), "diff-ns")
+	b.ReportMetric(float64(st.ApplyNanos), "apply-ns")
+}
+
 // BenchmarkRecordingOverhead quantifies the §2 comparison between DMT and
 // record-and-replay: an R+R system must log every synchronization operation
 // (reported as "log-bytes"), while a DMT system achieves replayability by

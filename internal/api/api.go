@@ -141,19 +141,32 @@ type Stats struct {
 	GCCount uint64 // slice garbage-collection passes
 
 	// DLRC internals (optimization studies, §4.5).
-	SlicesCreated      uint64 // slices ended with a non-empty or empty mod list
-	SlicesMerged       uint64 // slices continued by the slice-merging optimization
-	SlicesPropagated   uint64 // slice propagations into a local thread
-	SlicesFilteredLow  uint64 // propagations skipped by the lowerlimit filter
-	BytesPropagated    uint64 // modification bytes applied to local memories
-	PrelockBytes       uint64 // modification bytes applied during prelock pre-merge
-	LazyPendingApplied uint64 // lazily pended modification runs applied on access
-	LazyRunsElided     uint64 // pended runs coalesced away before any access
-	PageFaults         uint64 // simulated write-protection faults (pf monitor)
-	PageProtects       uint64 // simulated per-page mprotect operations
+	SlicesCreated           uint64 // slices ended with a non-empty or empty mod list
+	SlicesMerged            uint64 // slices continued by the slice-merging optimization
+	SlicesPropagated        uint64 // slice propagations into a local thread
+	SlicesFilteredLow       uint64 // propagations skipped by the lowerlimit filter
+	SlicesFilteredPremerged uint64 // propagations skipped because a prelock pre-merge already applied them
+	BytesPropagated         uint64 // modification bytes applied to local memories
+	PrelockBytes            uint64 // modification bytes applied during prelock pre-merge
+	LazyPendingApplied      uint64 // lazily pended modification runs applied on access
+	LazyRunsElided          uint64 // pended runs coalesced away before any access
+	PageFaults              uint64 // simulated write-protection faults (pf monitor)
+	PageProtects            uint64 // simulated per-page mprotect operations
 
 	// Kendo internals.
 	TurnWaits uint64 // sync ops that had to wait for the deterministic turn
+
+	// Monitor-contention observability. MonitorAcquires counts acquisitions
+	// of the runtime's global monitor; DiffNanos and ApplyNanos are the
+	// wall-clock time spent byte-diffing snapshotted pages and applying
+	// propagated modification runs. After the monitor decomposition, diffing
+	// and eager application run off the monitor, so these nanos measure work
+	// that no longer serializes unrelated threads. Wall-clock times are
+	// host-dependent: they are observability counters, never part of the
+	// deterministic output.
+	MonitorAcquires uint64 // global-monitor lock acquisitions
+	DiffNanos       uint64 // wall nanos spent in page diffing
+	ApplyNanos      uint64 // wall nanos spent applying propagated runs
 }
 
 // Add accumulates other into s.
@@ -173,6 +186,7 @@ func (s *Stats) Add(other *Stats) {
 	s.SlicesMerged += other.SlicesMerged
 	s.SlicesPropagated += other.SlicesPropagated
 	s.SlicesFilteredLow += other.SlicesFilteredLow
+	s.SlicesFilteredPremerged += other.SlicesFilteredPremerged
 	s.BytesPropagated += other.BytesPropagated
 	s.PrelockBytes += other.PrelockBytes
 	s.LazyPendingApplied += other.LazyPendingApplied
@@ -180,6 +194,9 @@ func (s *Stats) Add(other *Stats) {
 	s.PageFaults += other.PageFaults
 	s.PageProtects += other.PageProtects
 	s.TurnWaits += other.TurnWaits
+	s.MonitorAcquires += other.MonitorAcquires
+	s.DiffNanos += other.DiffNanos
+	s.ApplyNanos += other.ApplyNanos
 	// High-water and pass counters take the max / sum as appropriate.
 	if other.SharedMemBytes > s.SharedMemBytes {
 		s.SharedMemBytes = other.SharedMemBytes

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"rfdet/internal/slicestore"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -20,6 +22,16 @@ import (
 // slice-pointer list, which is what makes propagation transitive, and their
 // modifications are applied to t's memory in list order, which is what makes
 // remote modifications deterministically overwrite local ones.
+//
+// The work splits into a monitor half and a private half. Collecting walks
+// the releaser's monitor-guarded slice-pointer list, appends to the
+// acquirer's list and joins the vector clocks: that must hold exec.mu.
+// Applying the collected modification runs touches only the acquirer's
+// private address space: for the acquire paths — where the applying thread
+// owns its space — it runs off the monitor, after the operation releases
+// e.mu. The prelock pre-merge and the barrier merge instead mutate *blocked*
+// threads' spaces, which is only sound while the monitor proves they stay
+// blocked, so those applications remain under the lock.
 
 // collectLocked gathers the slices to propagate from from's list. Must hold
 // exec.mu: the list is monitor-guarded. Slices already applied by a prelock
@@ -34,7 +46,7 @@ func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicesto
 			continue
 		}
 		if t.preMerged != nil && t.preMerged[s] {
-			t.st.SlicesFilteredLow++
+			t.st.SlicesFilteredPremerged++
 			continue
 		}
 		if s.Time.Leq(upper) {
@@ -44,12 +56,20 @@ func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicesto
 	return out
 }
 
-// applySlicesLocked applies propagated slices to the local memory and
-// appends them to the local slice-pointer list. With lazy writes the
-// modifications are pended per page instead of written eagerly (§4.5).
+// applySlices applies propagated slices to t's memory. With lazy writes the
+// modifications are pended per page instead of written eagerly (§4.5);
 // prelock marks applications performed during the prelock pre-merge, whose
 // cost overlaps the lock holder's critical section.
-func (t *thread) applySlicesLocked(slices []*slicestore.Slice, prelock bool) {
+//
+// The slices themselves are immutable and the target space is t's own, so
+// the caller need not hold the monitor — unless t is a *blocked* thread
+// being pre-merged into by somebody else, in which case the caller must hold
+// exec.mu (which is what proves t stays blocked).
+func (t *thread) applySlices(slices []*slicestore.Slice, prelock bool) {
+	if len(slices) == 0 {
+		return
+	}
+	start := time.Now()
 	for _, s := range slices {
 		if t.pending != nil {
 			t.pendSlice(s)
@@ -63,80 +83,110 @@ func (t *thread) applySlicesLocked(slices []*slicestore.Slice, prelock bool) {
 			t.st.PrelockBytes += s.Bytes
 		}
 	}
-	t.slicePtrs = append(t.slicePtrs, slices...)
+	t.st.ApplyNanos += uint64(time.Since(start))
 }
 
-// acquireLocked performs the acquire side of a synchronization with internal
-// variable sv: propagate everything that happens-before sv's last release,
-// then join the vector clocks (§4.1, §4.2). The thread's virtual time also
-// joins the release's virtual time: Kendo ordered this acquire after that
-// release, so in a parallel execution the acquirer could not have proceeded
-// earlier.
-func (t *thread) acquireLocked(sv *syncVar) {
+// acquireCollectLocked performs the monitor half of an acquire against
+// internal variable sv: collect the slices that happen-before sv's last
+// release, publish them on t's slice-pointer list, and join the vector
+// clocks (§4.1, §4.2). The thread's virtual time also joins the release's
+// virtual time: Kendo ordered this acquire after that release, so in a
+// parallel execution the acquirer could not have proceeded earlier.
+//
+// The returned slices still have to be applied to t's memory — the caller
+// does that via applySlices once it has released the monitor. Deferring the
+// application past the list append is sound: propagation exchanges slice
+// pointers, never memory contents, so other threads collecting from t are
+// unaffected by when t's private space absorbs the runs; and t applies them
+// before returning to application code, so t itself never reads memory
+// missing an acquired update.
+func (t *thread) acquireCollectLocked(sv *syncVar) []*slicestore.Slice {
 	if sv.lastTid < 0 {
-		return
+		return nil
 	}
 	t.vt = vtime.Max(t.vt, sv.lastVT)
+	var slices []*slicestore.Slice
 	if sv.lastTid != int32(t.id) {
 		from := t.exec.threads[sv.lastTid]
-		slices := t.collectLocked(from, sv.lastTime, t.vtime)
-		t.applySlicesLocked(slices, false)
+		slices = t.collectLocked(from, sv.lastTime, t.vtime)
+		t.slicePtrs = append(t.slicePtrs, slices...)
 	}
 	t.vtime = t.vtime.Join(sv.lastTime)
 	t.preMerged = nil
+	return slices
 }
 
-// acquireFromLocked is acquireLocked against an explicit (thread, timestamp,
-// virtual time) release record — used for cond-signal wakeups, barrier
-// merges and joins, where the release is not carried by a mutex-style
+// acquireFromCollectLocked is acquireCollectLocked against an explicit
+// (thread, timestamp, virtual time) release record — used for cond-signal
+// wakeups and joins, where the release is not carried by a mutex-style
 // lastTid/lastTime pair.
-func (t *thread) acquireFromLocked(fromTid int32, upper vclock.VC, releaseVT vtime.Time) {
+func (t *thread) acquireFromCollectLocked(fromTid int32, upper vclock.VC, releaseVT vtime.Time) []*slicestore.Slice {
 	t.vt = vtime.Max(t.vt, releaseVT)
+	var slices []*slicestore.Slice
 	if fromTid != int32(t.id) {
 		from := t.exec.threads[fromTid]
-		slices := t.collectLocked(from, upper, t.vtime)
-		t.applySlicesLocked(slices, false)
+		slices = t.collectLocked(from, upper, t.vtime)
+		t.slicePtrs = append(t.slicePtrs, slices...)
 	}
 	t.vtime = t.vtime.Join(upper)
 	t.preMerged = nil
+	return slices
+}
+
+// prepareAcquireLocked performs, on the waker's side, the complete acquire a
+// blocked thread will need when it wakes owning synchronization variable sv:
+// the handoff virtual-time catch-up, the pending cond-signal acquire (if the
+// sleeper was moved from a condition queue onto the mutex queue), and the
+// mutex acquire itself. The caller holds the deterministic turn and the
+// monitor, and w is provably blocked, so every read is deterministic and
+// every mutation of w is safe. The returned event carries w's new virtual
+// time and the collected slices; applying them to w's private memory is the
+// only work left for w itself, off the monitor (§4.3's propagation with the
+// collect and apply halves on opposite sides of the wakeup).
+func (e *exec) prepareAcquireLocked(w *thread, sv *syncVar, handoffVT vtime.Time) wakeEvent {
+	w.vt = vtime.Max(w.vt, handoffVT) + vtime.LockHandoff
+	var slices []*slicestore.Slice
+	if sig := w.pendingSignal; sig != nil {
+		w.pendingSignal = nil
+		slices = w.acquireFromCollectLocked(sig.tid, sig.v, sig.vt)
+	}
+	slices = append(slices, w.acquireCollectLocked(sv)...)
+	return wakeEvent{vt: w.vt, slices: slices}
+}
+
+// premergeLocked applies slices to thread w as a prelock pre-merge,
+// remembering them in w.preMerged so the eventual acquire skips them. w is
+// either the calling thread (queueing on a held lock) or a provably blocked
+// waiter mutated under the monitor.
+func (w *thread) premergeLocked(slices []*slicestore.Slice) {
+	if len(slices) == 0 {
+		return
+	}
+	if w.preMerged == nil {
+		w.preMerged = make(map[*slicestore.Slice]bool, len(slices))
+	}
+	for _, s := range slices {
+		w.preMerged[s] = true
+	}
+	w.applySlices(slices, true)
+	w.slicePtrs = append(w.slicePtrs, slices...)
 }
 
 // prelockLocked performs the prelock pre-merge (§4.5): while blocked on a
 // held lock, the thread already knows its eventual acquire must happen-after
 // the holder's *current* vector time (read deterministically under the
 // turn), so it can merge those updates now, overlapping the holder's
-// critical section. The pre-merged slices are remembered in t.preMerged so
-// the eventual acquire does not apply them again.
+// critical section. The cost lands on this thread's virtual clock while it
+// is blocked, and is absorbed by the max() with the release time at the
+// eventual acquire — exactly the "propagation moved into parallel mode"
+// effect the paper measures at ~80%.
 func (t *thread) prelockLocked(sv *syncVar) {
 	if !t.exec.opts.Prelock || sv.owner < 0 {
 		return
 	}
 	holder := t.exec.threads[sv.owner]
 	upper := holder.vtime.Clone()
-	slices := t.collectLocked(holder, upper, t.vtime)
-	if len(slices) == 0 {
-		return
-	}
-	// Apply now; the cost lands on this thread's virtual clock while it is
-	// blocked, and is absorbed by the max() with the release time at the
-	// eventual acquire — exactly the "propagation moved into parallel mode"
-	// effect the paper measures at ~80%.
-	if t.preMerged == nil {
-		t.preMerged = make(map[*slicestore.Slice]bool, len(slices))
-	}
-	for _, s := range slices {
-		if t.pending != nil {
-			t.pendSlice(s)
-		} else {
-			t.space.ApplyRuns(s.Mods)
-			t.vt += vtime.ApplyCost(uint64(len(s.Mods)), s.Bytes)
-		}
-		t.st.SlicesPropagated++
-		t.st.BytesPropagated += s.Bytes
-		t.st.PrelockBytes += s.Bytes
-		t.preMerged[s] = true
-	}
-	t.slicePtrs = append(t.slicePtrs, slices...)
+	t.premergeLocked(t.collectLocked(holder, upper, t.vtime))
 }
 
 // prelockReleaseLocked continues the prelock pre-merge while a thread stays
@@ -153,25 +203,6 @@ func (e *exec) prelockReleaseLocked(sv *syncVar, releaser *thread) {
 	}
 	for _, wid := range sv.lockQ {
 		w := e.threads[wid]
-		slices := w.collectLocked(releaser, sv.lastTime, w.vtime)
-		if len(slices) == 0 {
-			continue
-		}
-		if w.preMerged == nil {
-			w.preMerged = make(map[*slicestore.Slice]bool, len(slices))
-		}
-		for _, s := range slices {
-			if w.pending != nil {
-				w.pendSlice(s)
-			} else {
-				w.space.ApplyRuns(s.Mods)
-				w.vt += vtime.ApplyCost(uint64(len(s.Mods)), s.Bytes)
-			}
-			w.st.SlicesPropagated++
-			w.st.BytesPropagated += s.Bytes
-			w.st.PrelockBytes += s.Bytes
-			w.preMerged[s] = true
-		}
-		w.slicePtrs = append(w.slicePtrs, slices...)
+		w.premergeLocked(w.collectLocked(releaser, sv.lastTime, w.vtime))
 	}
 }

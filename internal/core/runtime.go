@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 	"time"
 
@@ -140,6 +141,11 @@ type exec struct {
 	aborted      bool
 	abortErr     error
 
+	// diffSem bounds the worker pool that byte-diffs snapshotted pages
+	// concurrently during off-monitor slice finishing. One token per worker;
+	// a diff that cannot get a token runs inline on the owning thread.
+	diffSem chan struct{}
+
 	wg sync.WaitGroup
 }
 
@@ -172,12 +178,19 @@ type barArrival struct {
 	vt  vtime.Time
 }
 
-// wakeEvent resumes a blocked thread.
+// wakeEvent resumes a blocked thread. The waker — which holds both the
+// deterministic turn and the monitor, while the sleeper is provably blocked —
+// performs the sleeper's entire acquire (clock joins, slice-pointer
+// collection) before waking it, so the woken thread re-enters user code
+// without touching any monitor-guarded state: it only installs vt, applies
+// the pre-collected slices to its private memory, and goes.
 type wakeEvent struct {
 	abort bool
-	// vt is the waker's virtual time: the blocked thread resumes no
-	// earlier than this.
+	// vt is the woken thread's new virtual time, computed by the waker.
 	vt vtime.Time
+	// slices are the pre-collected propagated slices the woken thread must
+	// apply to its private memory before returning to user code.
+	slices []*slicestore.Slice
 }
 
 // signalRecord carries the release information of a cond signal to the
@@ -192,12 +205,38 @@ func newExec(opts Options) *exec {
 	if opts.MetadataCapacity == 0 {
 		opts.MetadataCapacity = slicestore.DefaultCapacity
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
 	return &exec{
 		opts:     opts,
 		sched:    kendo.NewSched(),
 		alloc:    alloc.New(),
 		store:    slicestore.NewStore(opts.MetadataCapacity, opts.GCThresholdPct),
 		syncvars: make(map[api.Addr]*syncVar),
+		diffSem:  make(chan struct{}, workers),
+	}
+}
+
+// lockMonitor takes the global monitor on behalf of thread t, counting the
+// acquisition for the contention statistics.
+func (e *exec) lockMonitor(t *thread) {
+	e.mu.Lock()
+	t.st.MonitorAcquires++
+}
+
+// relockMonitor retakes the monitor after an off-monitor work window opened
+// inside a turn-held operation (endSliceDropLock, deferred propagation in
+// atomicOp). If the execution aborted while the monitor was released, the
+// thread must unwind instead of continuing to mutate synchronization state —
+// in particular it must not block, because failLocked has already delivered
+// its abort wakeups.
+func (e *exec) relockMonitor(t *thread) {
+	e.lockMonitor(t)
+	if e.aborted {
+		e.mu.Unlock()
+		panic(errAborted)
 	}
 }
 
@@ -276,9 +315,7 @@ func (e *exec) runThread(t *thread) {
 		}
 		e.threadExit(t, r != nil)
 	}()
-	e.mu.Lock()
-	t.beginSliceLocked()
-	e.mu.Unlock()
+	t.beginSlice()
 	t.fn(t)
 }
 
@@ -303,10 +340,18 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 		t.exitV = t.vtime.Clone()
 	}
 	t.exitVT = t.vt
-	t.proc.SetStatus(kendo.Exited)
+	e.sched.Transition(func() { t.proc.SetStatus(kendo.Exited) })
 	e.liveCount--
 	for _, j := range t.joiners {
-		e.wakeLocked(j, wakeEvent{vt: t.vt})
+		ev := wakeEvent{vt: vtime.Max(j.vt, t.vt)}
+		if !e.aborted {
+			// Perform the joiner's acquire of this exit release on its
+			// behalf (it is provably blocked): join its clocks and collect
+			// the slices it must apply once awake.
+			ev.slices = j.acquireFromCollectLocked(int32(t.id), t.exitV, t.exitVT)
+			ev.vt = j.vt
+		}
+		e.wakeLocked(j, ev)
 	}
 	t.joiners = nil
 	if !e.aborted && e.liveCount > 0 && e.blockedCount == e.liveCount {
@@ -341,9 +386,12 @@ func (e *exec) failLocked(err error) {
 	}
 }
 
-// wakeLocked resumes a blocked thread with the given event.
+// wakeLocked resumes a blocked thread with the given event. The
+// Blocked→Running flip is bracketed as a scheduling transition so no
+// concurrent turn scan can observe the waker's clock tick without also
+// observing the newly eligible thread.
 func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
-	t.proc.SetStatus(kendo.Running)
+	e.sched.Transition(func() { t.proc.SetStatus(kendo.Running) })
 	e.blockedCount--
 	t.wake <- ev
 }
@@ -353,7 +401,7 @@ func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
 func (t *thread) blockLocked(site string) {
 	e := t.exec
 	t.blockedOn = site
-	t.proc.SetStatus(kendo.Blocked)
+	e.sched.Transition(func() { t.proc.SetStatus(kendo.Blocked) })
 	e.blockedCount++
 	if e.blockedCount == e.liveCount {
 		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked: %s", e.liveCount, e.blockSitesLocked()))
@@ -433,6 +481,21 @@ func (e *exec) gcLocked() {
 	for _, t := range e.threads {
 		if t.proc.Status() != kendo.Exited && !t.noComm {
 			clocks = append(clocks, t.vtime)
+		}
+	}
+	if len(clocks) == 0 {
+		// Every live thread is hinted never-communicating: MeetAll over the
+		// empty set would be the beginning-of-time clock, Collect would free
+		// nothing, and metadata would grow without bound — the exact §5.4
+		// pathology the hint exists to prevent. Fall back to the exit clocks
+		// of the threads that have finished: everything that happened-before
+		// every exit has been merged by every thread that will ever acquire
+		// (hinted threads assert they never will; if that assertion is wrong
+		// the acquirer misses the updates, the hint's documented caveat).
+		for _, t := range e.threads {
+			if t.proc.Status() == kendo.Exited && t.exitV != nil {
+				clocks = append(clocks, t.exitV)
+			}
 		}
 	}
 	frontier := vclock.MeetAll(clocks)

@@ -12,6 +12,33 @@ import (
 	"rfdet/internal/vtime"
 )
 
+// Synchronization operations (§4.1).
+//
+// Every operation follows the same monitor-decomposed shape:
+//
+//	turn()                    — win the deterministic Kendo turn
+//	finishSlice()             — OFF-monitor: byte-diff the snapshotted pages
+//	lockMonitor()             — enter the global monitor
+//	  commitSliceLocked()     — publish the slice, bump the clock
+//	  ...collect/queue/wake   — mutate monitor-guarded state
+//	unlock
+//	applySlices()             — OFF-monitor: absorb propagated runs
+//
+// Holding the turn makes the off-monitor windows safe: every mutation of
+// monitor-guarded synchronization state happens under the turn, so nothing a
+// thread observed under the monitor can change while it diffs or applies
+// outside it.
+//
+// Wakeups never re-enter the monitor at all: the waker — which holds the
+// turn and the monitor while the sleeper is provably blocked — performs the
+// sleeper's whole acquire on its behalf (prepareAcquireLocked) and hands the
+// collected slices over in the wake event. The woken thread just installs
+// its new virtual time, restarts slice monitoring and applies the slices to
+// its private memory, all without shared state. This is what makes every
+// propagation decision a pure function of the deterministic clocks even
+// though threads wake with arbitrary host timing — and it removes the wake
+// path from the monitor's critical section entirely.
+
 // turn waits for the deterministic Kendo turn before a synchronization
 // operation (§4.1). It panics with errAborted if the execution failed.
 func (t *thread) turn() {
@@ -33,11 +60,14 @@ func (t *thread) finishOpLocked() {
 	t.proc.Tick(2)
 }
 
-// Lock implements pthread_mutex_lock (§4.1).
+// Lock implements pthread_mutex_lock (§4.1). Whether the current slice ends
+// at all depends on monitor-guarded state (slice merging, §4.5), so Lock
+// cannot pre-diff before entering the monitor; it drops the monitor around
+// the diff instead (endSliceDropLock).
 func (t *thread) Lock(m api.Addr) {
 	t.turn()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Locks++
 	sv := e.syncvar(m)
 
@@ -49,20 +79,20 @@ func (t *thread) Lock(m api.Addr) {
 		}
 		// Contended: end the slice, reserve our place in the deterministic
 		// grant queue, pre-merge (prelock, §4.5), and sleep.
-		t.endSliceLocked()
+		t.endSliceDropLock()
 		sv.lockQ = append(sv.lockQ, t.id)
 		t.prelockLocked(sv)
 		t.blockLocked(fmt.Sprintf("lock %#x", uint64(m)))
 		t.finishOpLocked()
 		e.mu.Unlock()
 
-		ev := t.sleep() // the releaser hands us ownership
-		e.mu.Lock()
-		t.vt = vtime.Max(t.vt, ev.vt) + vtime.LockHandoff
-		t.acquireLocked(sv)
-		t.beginSliceLocked()
+		// The releaser hands us ownership with the acquire already done
+		// (prepareAcquireLocked); nothing below touches shared state.
+		ev := t.sleep()
+		t.vt = ev.vt
+		t.beginSlice()
 		e.tracer.record(t, "lock", m)
-		e.mu.Unlock()
+		t.applySlices(ev.slices, false)
 		return
 	}
 
@@ -78,20 +108,35 @@ func (t *thread) Lock(m api.Addr) {
 		e.mu.Unlock()
 		return
 	}
-	t.endSliceLocked()
-	t.acquireLocked(sv)
-	t.beginSliceLocked()
+	t.endSliceDropLock()
+	slices := t.acquireCollectLocked(sv)
+	t.beginSlice()
 	e.tracer.record(t, "lock", m)
 	t.finishOpLocked()
 	e.mu.Unlock()
+	t.applySlices(slices, false)
+}
+
+// handoffLocked grants a released mutex to the head of its queue: the
+// remaining waiters pre-merge the release in parallel with the new holder's
+// critical section (prelock, §4.5), and the new holder is woken with its
+// acquire pre-collected.
+func (e *exec) handoffLocked(sv *syncVar, releaser *thread) {
+	next := sv.lockQ[0]
+	sv.lockQ = sv.lockQ[1:]
+	sv.owner = next
+	e.prelockReleaseLocked(sv, releaser)
+	w := e.threads[next]
+	e.wakeLocked(w, e.prepareAcquireLocked(w, sv, releaser.vt))
 }
 
 // Unlock implements pthread_mutex_unlock (§4.1): a release that records
 // lastTid/lastTime before the variable is handed over.
 func (t *thread) Unlock(m api.Addr) {
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Unlocks++
 	sv := e.syncvar(m)
 	if !sv.held || sv.owner != t.id {
@@ -99,21 +144,15 @@ func (t *thread) Unlock(m api.Addr) {
 		e.mu.Unlock()
 		panic(errAborted)
 	}
-	tend := t.endSliceLocked()
+	tend := t.commitSliceLocked(s)
 	t.releaseLocked(sv, tend)
 	if len(sv.lockQ) > 0 {
-		next := sv.lockQ[0]
-		sv.lockQ = sv.lockQ[1:]
-		sv.owner = next
-		// The remaining waiters pre-merge this release in parallel with the
-		// new holder's critical section (prelock, §4.5).
-		e.prelockReleaseLocked(sv, t)
-		e.wakeLocked(e.threads[next], wakeEvent{vt: t.vt})
+		e.handoffLocked(sv, t)
 	} else {
 		sv.held = false
 		sv.owner = -1
 	}
-	t.beginSliceLocked()
+	t.beginSlice()
 	e.tracer.record(t, "unlock", m)
 	t.finishOpLocked()
 	e.mu.Unlock()
@@ -132,8 +171,9 @@ func (t *thread) releaseLocked(sv *syncVar, tend vclock.VC) {
 // and the mutex (§4.1).
 func (t *thread) Wait(c, m api.Addr) {
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Waits++
 	svm := e.syncvar(m)
 	if !svm.held || svm.owner != t.id {
@@ -141,14 +181,15 @@ func (t *thread) Wait(c, m api.Addr) {
 		e.mu.Unlock()
 		panic(errAborted)
 	}
-	tend := t.endSliceLocked()
-	// Release the mutex.
+	tend := t.commitSliceLocked(s)
+	// Release the mutex — exactly like Unlock, including the prelock
+	// pre-merge for the waiters that stay queued: a release performed inside
+	// pthread_cond_wait is a release like any other, and skipping the
+	// pre-merge here silently lost the §4.5 overlap on condvar-heavy
+	// workloads.
 	t.releaseLocked(svm, tend)
 	if len(svm.lockQ) > 0 {
-		next := svm.lockQ[0]
-		svm.lockQ = svm.lockQ[1:]
-		svm.owner = next
-		e.wakeLocked(e.threads[next], wakeEvent{vt: t.vt})
+		e.handoffLocked(svm, t)
 	} else {
 		svm.held = false
 		svm.owner = -1
@@ -162,18 +203,14 @@ func (t *thread) Wait(c, m api.Addr) {
 	e.mu.Unlock()
 
 	// We are woken only once we own the mutex again (the signaler either
-	// granted it directly or queued us on it).
+	// granted it directly or queued us on it); whoever handed the mutex
+	// over performed both our acquires — the signaler's release and the
+	// mutex release — on our behalf.
 	ev := t.sleep()
-	e.mu.Lock()
-	t.vt = vtime.Max(t.vt, ev.vt) + vtime.LockHandoff
-	if sig := t.pendingSignal; sig != nil {
-		t.pendingSignal = nil
-		t.acquireFromLocked(sig.tid, sig.v, sig.vt)
-	}
-	t.acquireLocked(svm)
-	t.beginSliceLocked()
+	t.vt = ev.vt
+	t.beginSlice()
 	e.tracer.record(t, "wake", c)
-	e.mu.Unlock()
+	t.applySlices(ev.slices, false)
 }
 
 // Signal implements pthread_cond_signal (§4.1): a release whose timestamp
@@ -190,10 +227,11 @@ func (t *thread) Broadcast(c api.Addr) {
 
 func (t *thread) signal(c api.Addr, all bool) {
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Signals++
-	tend := t.endSliceLocked()
+	tend := t.commitSliceLocked(s)
 	svc := e.syncvar(c)
 	n := 1
 	if all {
@@ -210,10 +248,10 @@ func (t *thread) signal(c api.Addr, all bool) {
 		} else {
 			svm.held = true
 			svm.owner = entry.tid
-			e.wakeLocked(w, wakeEvent{vt: t.vt})
+			e.wakeLocked(w, e.prepareAcquireLocked(w, svm, t.vt))
 		}
 	}
-	t.beginSliceLocked()
+	t.beginSlice()
 	if all {
 		e.tracer.record(t, "broadcast", c)
 	} else {
@@ -227,17 +265,20 @@ func (t *thread) signal(c api.Addr, all bool) {
 // release. The arrivals' modifications are merged into the lowest-ID
 // arrival's memory in ascending thread-ID order, and every arrival leaves
 // with a copy-on-write copy of that merged memory — exactly the paper's
-// barrier algorithm.
+// barrier algorithm. The merge mutates the blocked arrivals' spaces, which
+// is only sound while the monitor proves they stay blocked, so unlike the
+// acquire paths it runs entirely under the lock.
 func (t *thread) Barrier(b api.Addr, n int) {
 	if n <= 0 {
 		t.exec.fail(fmt.Errorf("rfdet: thread %d: barrier with count %d", t.id, n))
 		panic(errAborted)
 	}
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Barriers++
-	tend := t.endSliceLocked()
+	tend := t.commitSliceLocked(s)
 	t.flushAllPending()
 	sv := e.syncvar(b)
 	sv.barArrivals = append(sv.barArrivals, barArrival{tid: t.id, v: tend, vt: t.vt})
@@ -245,12 +286,12 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		t.blockLocked(fmt.Sprintf("barrier %#x (%d/%d)", uint64(b), len(sv.barArrivals), n))
 		t.finishOpLocked()
 		e.mu.Unlock()
+		// The last arrival merges on our behalf and hands us the merged
+		// memory; nothing after the wake touches shared state.
 		ev := t.sleep()
-		e.mu.Lock()
 		t.vt = ev.vt
-		t.beginSliceLocked()
+		t.beginSlice()
 		e.tracer.record(t, "barrier", b)
-		e.mu.Unlock()
 		return
 	}
 
@@ -311,7 +352,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		e.wakeLocked(e.threads[a.tid], wakeEvent{vt: releaseVT})
 	}
 	t.vt = vtime.Max(t.vt, releaseVT)
-	t.beginSliceLocked()
+	t.beginSlice()
 	e.tracer.record(t, "barrier", b)
 	t.finishOpLocked()
 	e.mu.Unlock()
@@ -322,12 +363,16 @@ func (t *thread) Barrier(b api.Addr, n int) {
 // list, and gets the next deterministic thread ID.
 func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	t.turn()
+	// Pages with lazily pended updates are never snapshotted (the flush
+	// happens before the snapshot on first touch), so the off-monitor diff
+	// commutes with the flush below.
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Forks++
 	// Lazily pended updates must be resident before the memory is cloned.
 	t.flushAllPending()
-	tend := t.endSliceLocked()
+	tend := t.commitSliceLocked(s)
 
 	id := api.ThreadID(len(e.threads))
 	child := &thread{
@@ -365,7 +410,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	}
 	e.wg.Add(1)
 	go e.runThread(child)
-	t.beginSliceLocked()
+	t.beginSlice()
 	e.tracer.record(t, "spawn", api.Addr(id))
 	t.finishOpLocked()
 	e.mu.Unlock()
@@ -376,8 +421,9 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 // exit release; all of the child's modifications are propagated here.
 func (t *thread) Join(id api.ThreadID) {
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.Joins++
 	if id < 0 || int(id) >= len(e.threads) {
 		e.failLocked(fmt.Errorf("rfdet: thread %d: join of unknown thread %d", t.id, id))
@@ -390,21 +436,28 @@ func (t *thread) Join(id api.ThreadID) {
 		panic(errAborted)
 	}
 	target := e.threads[id]
-	t.endSliceLocked()
+	t.commitSliceLocked(s)
 	if target.proc.Status() != kendo.Exited {
 		target.joiners = append(target.joiners, t)
 		t.blockLocked(fmt.Sprintf("join of thread %d", id))
 		t.finishOpLocked()
 		e.mu.Unlock()
+		// The exiting thread performs our acquire of its exit release
+		// (threadExit) and hands us the slices to apply.
 		ev := t.sleep()
-		e.mu.Lock()
-		t.vt = vtime.Max(t.vt, ev.vt)
+		t.vt = ev.vt
+		t.finishOpLocked()
+		t.beginSlice()
+		e.tracer.record(t, "join", api.Addr(id))
+		t.applySlices(ev.slices, false)
+		return
 	}
-	t.acquireFromLocked(int32(target.id), target.exitV, target.exitVT)
-	t.beginSliceLocked()
+	slices := t.acquireFromCollectLocked(int32(target.id), target.exitV, target.exitVT)
+	t.beginSlice()
 	e.tracer.record(t, "join", api.Addr(id))
 	t.finishOpLocked()
 	e.mu.Unlock()
+	t.applySlices(slices, false)
 }
 
 // AtomicAdd64 is the §4.6 low-level-atomics extension: a Kendo-ordered
@@ -436,12 +489,22 @@ func (t *thread) AtomicCAS64(a api.Addr, old, new uint64) bool {
 // is carried by the micro-slice, not by page diffing.
 func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote bool)) {
 	t.turn()
+	s := t.finishSlice()
 	e := t.exec
-	e.mu.Lock()
+	e.lockMonitor(t)
 	t.st.AtomicsOps++
 	sv := e.syncvar(a)
-	t.endSliceLocked()
-	t.acquireLocked(sv)
+	t.commitSliceLocked(s)
+	slices := t.acquireCollectLocked(sv)
+	if len(slices) > 0 {
+		// The acquired updates must be resident before the word is read, but
+		// applying them touches only this thread's private space: drop the
+		// monitor around the application like any other acquire path. The
+		// turn is still held, so the monitor state cannot shift meanwhile.
+		e.mu.Unlock()
+		t.applySlices(slices, false)
+		e.relockMonitor(t)
+	}
 	cur := t.space.Load64(uint64(a)) // flushes lazily pended updates if any
 	newVal, wrote := op(cur)
 	t.vt += 2 * vtime.MemOp
@@ -467,7 +530,7 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 		t.vtime = t.vtime.Bump(int(t.id))
 		t.releaseLocked(sv, tend)
 	}
-	t.beginSliceLocked()
+	t.beginSlice()
 	e.tracer.record(t, "atomic", a)
 	t.finishOpLocked()
 	e.mu.Unlock()

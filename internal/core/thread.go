@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"rfdet/internal/api"
 	"rfdet/internal/kendo"
@@ -59,6 +61,9 @@ type thread struct {
 	pendingSignal *signalRecord
 
 	wake chan wakeEvent
+	// traceSeq orders this thread's own trace events (trace.go sorts the
+	// global trace by deterministic keys, not by arrival).
+	traceSeq uint64
 	// blockedOn describes the current block site for deadlock diagnostics.
 	blockedOn string
 	joiners   []*thread
@@ -247,10 +252,11 @@ func (t *thread) Free(a api.Addr) {
 // Slice lifecycle (§4.2).
 //
 
-// beginSliceLocked starts monitoring a new slice. Under the PF monitor this
-// is where the whole shared mapping is write-protected — the per-slice cost
+// beginSlice starts monitoring a new slice. Under the PF monitor this is
+// where the whole shared mapping is write-protected — the per-slice cost
 // that makes RFDet-pf slower than RFDet-ci on sync-heavy programs (§5.2).
-func (t *thread) beginSliceLocked() {
+// It touches only the thread's private space and may run off the monitor.
+func (t *thread) beginSlice() {
 	if !t.monitoring || t.exec.opts.Monitor != MonitorPF {
 		return
 	}
@@ -263,23 +269,59 @@ func (t *thread) beginSliceLocked() {
 	}
 }
 
+// minPagesForParallelDiff is the snapshot count below which fanning page
+// diffs out to the worker pool is not worth the goroutine handoff.
+const minPagesForParallelDiff = 4
+
 // finishSlice ends the current slice: each snapshotted page is byte-diffed
 // against its current contents to produce the modification list (§4.2). It
 // returns nil when the slice made no modifications. The snapshot memory is
 // released immediately after diffing, as in §5.4.
+//
+// finishSlice touches only thread-private state (the snapshots, the space)
+// and runs OFF the exec monitor, between winning the deterministic turn and
+// taking e.mu — the monitor decomposition that keeps the most expensive
+// per-sync work from serializing unrelated threads. Large slices fan the
+// per-page diffs out to the bounded exec.diffSem worker pool; the runs are
+// reassembled in snapOrder, so the modification list is identical to the
+// sequential one.
 func (t *thread) finishSlice() *slicestore.Slice {
 	if len(t.snapOrder) == 0 {
 		return nil
 	}
+	start := time.Now()
+	perPage := make([][]mem.Run, len(t.snapOrder))
+	if len(t.snapOrder) >= minPagesForParallelDiff && cap(t.exec.diffSem) > 1 {
+		var wg sync.WaitGroup
+		for i, pid := range t.snapOrder {
+			select {
+			case t.exec.diffSem <- struct{}{}:
+				wg.Add(1)
+				go func(i int, pid mem.PageID) {
+					defer wg.Done()
+					perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+					<-t.exec.diffSem
+				}(i, pid)
+			default:
+				// Pool saturated: diff inline rather than queueing.
+				perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+			}
+		}
+		wg.Wait()
+	} else {
+		for i, pid := range t.snapOrder {
+			perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+		}
+	}
 	var mods []mem.Run
-	for _, pid := range t.snapOrder {
-		runs := mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
-		mods = append(mods, runs...)
+	for i, pid := range t.snapOrder {
+		mods = append(mods, perPage[i]...)
 		t.exec.store.FreeSnapshot()
 		t.vt += vtime.DiffPage
 		delete(t.snapshots, pid)
 	}
 	t.snapOrder = t.snapOrder[:0]
+	t.st.DiffNanos += uint64(time.Since(start))
 	if len(mods) == 0 {
 		return nil
 	}
@@ -291,16 +333,14 @@ func (t *thread) finishSlice() *slicestore.Slice {
 	}
 }
 
-// endSliceLocked ends the current slice at a synchronization operation: it
-// commits the finished slice (if any) to the metadata space and this
-// thread's slice-pointer list, then advances the thread's vector clock so
-// every later slice is strictly newer (§4.2). It returns the pre-bump
-// clock — the timestamp a release operation must publish as lastTime: using
-// the post-bump clock would let a slice committed later (with the bumped
-// component) appear already-seen to a thread that joined this release's
-// time, silently losing its modifications.
-func (t *thread) endSliceLocked() vclock.VC {
-	s := t.finishSlice()
+// commitSliceLocked publishes a slice finished off-monitor: it appends the
+// slice (if any) to the metadata space and this thread's slice-pointer list,
+// then advances the thread's vector clock so every later slice is strictly
+// newer (§4.2). It returns the pre-bump clock — the timestamp a release
+// operation must publish as lastTime: using the post-bump clock would let a
+// slice committed later (with the bumped component) appear already-seen to a
+// thread that joined this release's time, silently losing its modifications.
+func (t *thread) commitSliceLocked(s *slicestore.Slice) vclock.VC {
 	tend := t.vtime.Clone()
 	if s != nil {
 		t.st.SlicesCreated++
@@ -311,6 +351,31 @@ func (t *thread) endSliceLocked() vclock.VC {
 	}
 	t.vtime = t.vtime.Bump(int(t.id))
 	return tend
+}
+
+// endSliceLocked ends the current slice entirely under the monitor: diff and
+// commit in one step. Only paths that cannot pre-diff off-monitor use it —
+// thread exit (the final slice is cut while the monitor already decides the
+// exit) and Lock, which learns whether the slice even ends (slice merging)
+// only from monitor-guarded state.
+func (t *thread) endSliceLocked() vclock.VC {
+	return t.commitSliceLocked(t.finishSlice())
+}
+
+// endSliceDropLock ends the current slice from within a monitor section by
+// dropping the monitor around the page diffing, then retaking it to commit.
+// Safe because the caller holds the deterministic turn: every mutation of
+// monitor-guarded synchronization state happens under the turn, so the state
+// the caller was looking at cannot change while the monitor is released.
+func (t *thread) endSliceDropLock() vclock.VC {
+	if len(t.snapOrder) == 0 {
+		return t.endSliceLocked()
+	}
+	e := t.exec
+	e.mu.Unlock()
+	s := t.finishSlice()
+	e.relockMonitor(t)
+	return t.commitSliceLocked(s)
 }
 
 //

@@ -79,6 +79,15 @@ func (p *Proc) before(q *Proc) bool {
 type Sched struct {
 	procs   atomic.Pointer[[]*Proc]
 	aborted atomic.Bool
+	// gen is a seqlock over scheduling transitions (status changes, thread
+	// registration). WaitForTurn's eligibility scan reads several atomic
+	// words (every proc's clock and status); without the seqlock a scan can
+	// straddle a wake transition — observing the waker's clock tick but not
+	// the woken thread's Blocked→Running flip — and falsely conclude it holds
+	// the turn while the woken thread does too. Writers make gen odd for the
+	// duration of the transition; readers retry any scan during which gen was
+	// odd or changed.
+	gen atomic.Uint64
 }
 
 // NewSched returns an empty arbiter.
@@ -100,8 +109,19 @@ func (s *Sched) Register(id int32, clock uint64) *Proc {
 	next := make([]*Proc, len(old)+1)
 	copy(next, old)
 	next[len(old)] = p
-	s.procs.Store(&next)
+	s.Transition(func() { s.procs.Store(&next) })
 	return p
+}
+
+// Transition brackets a scheduling-state mutation — a status change or a
+// thread registration — so that no WaitForTurn scan can observe it half
+// applied. The caller must already hold the deterministic turn (or the
+// runtime monitor during teardown); Transition only publishes the mutation
+// atomically with respect to concurrent eligibility scans.
+func (s *Sched) Transition(fn func()) {
+	s.gen.Add(1)
+	fn()
+	s.gen.Add(1)
 }
 
 // Procs returns the current thread snapshot.
@@ -123,7 +143,10 @@ func (s *Sched) WaitForTurn(p *Proc) (ok, waited bool) {
 		if s.aborted.Load() {
 			return false, waited
 		}
-		if s.isMin(p) {
+		// Seqlock read: the scan is valid only if no scheduling transition
+		// was in flight (gen odd) or completed (gen changed) while it ran.
+		g := s.gen.Load()
+		if g&1 == 0 && s.isMin(p) && s.gen.Load() == g {
 			return true, waited
 		}
 		waited = true

@@ -51,16 +51,22 @@ const (
 
 // Store is the metadata space: the registry of live slices plus usage
 // accounting for slices and transient page snapshots.
+//
+// All usage accounting (used, highWater) and the scalar counters are plain
+// atomics, so snapshot bookkeeping — AllocSnapshot on the store path of a
+// running slice, FreeSnapshot on the off-monitor diff path — never contends
+// with commits or collections. The mutex guards only the live-slice map.
 type Store struct {
-	mu           sync.Mutex
-	slices       map[uint64]*Slice
-	nextID       uint64
-	capacity     uint64
-	gcThreshold  uint64
-	used         int64 // slices + snapshots, bytes
-	highWater    int64
-	gcCount      uint64
-	totalCreated uint64
+	mu          sync.Mutex
+	slices      map[uint64]*Slice
+	capacity    uint64
+	gcThreshold uint64
+
+	nextID       atomic.Uint64
+	used         atomic.Int64 // slices + snapshots, bytes
+	highWater    atomic.Int64
+	gcCount      atomic.Uint64
+	totalCreated atomic.Uint64
 }
 
 // NewStore returns a metadata space with the given capacity (0 means
@@ -92,10 +98,10 @@ func (st *Store) AllocSnapshot() { st.charge(mem.PageSize) }
 func (st *Store) FreeSnapshot() { st.charge(-mem.PageSize) }
 
 func (st *Store) charge(delta int64) {
-	used := atomic.AddInt64(&st.used, delta)
+	used := st.used.Add(delta)
 	for {
-		hw := atomic.LoadInt64(&st.highWater)
-		if used <= hw || atomic.CompareAndSwapInt64(&st.highWater, hw, used) {
+		hw := st.highWater.Load()
+		if used <= hw || st.highWater.CompareAndSwap(hw, used) {
 			return
 		}
 	}
@@ -104,14 +110,13 @@ func (st *Store) charge(delta int64) {
 // Commit registers a finished slice and reports whether usage has crossed
 // the GC threshold, in which case the caller should garbage-collect.
 func (st *Store) Commit(s *Slice) (needGC bool) {
+	s.ID = st.nextID.Add(1)
+	st.totalCreated.Add(1)
 	st.mu.Lock()
-	st.nextID++
-	s.ID = st.nextID
 	st.slices[s.ID] = s
-	st.totalCreated++
 	st.mu.Unlock()
 	st.charge(int64(s.Cost()))
-	return uint64(atomic.LoadInt64(&st.used)) >= st.gcThreshold
+	return uint64(st.used.Load()) >= st.gcThreshold
 }
 
 // Collect removes every slice whose timestamp is ≤ frontier: such slices
@@ -127,8 +132,8 @@ func (st *Store) Collect(frontier vclock.VC) int {
 			delete(st.slices, id)
 		}
 	}
-	st.gcCount++
 	st.mu.Unlock()
+	st.gcCount.Add(1)
 	var freed int64
 	for _, s := range victims {
 		freed += int64(s.Cost())
@@ -138,18 +143,14 @@ func (st *Store) Collect(frontier vclock.VC) int {
 }
 
 // Used returns the current metadata-space usage in bytes.
-func (st *Store) Used() uint64 { return uint64(atomic.LoadInt64(&st.used)) }
+func (st *Store) Used() uint64 { return uint64(st.used.Load()) }
 
 // HighWater returns the metadata-space usage high-water mark (the
 // MetadataSpaceMemory term in §5.4's footprint equation).
-func (st *Store) HighWater() uint64 { return uint64(atomic.LoadInt64(&st.highWater)) }
+func (st *Store) HighWater() uint64 { return uint64(st.highWater.Load()) }
 
 // GCCount returns the number of Collect passes (Table 1, "GC").
-func (st *Store) GCCount() uint64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.gcCount
-}
+func (st *Store) GCCount() uint64 { return st.gcCount.Load() }
 
 // Live returns the number of live slices.
 func (st *Store) Live() int {
@@ -159,11 +160,7 @@ func (st *Store) Live() int {
 }
 
 // TotalCreated returns the number of slices ever committed.
-func (st *Store) TotalCreated() uint64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.totalCreated
-}
+func (st *Store) TotalCreated() uint64 { return st.totalCreated.Load() }
 
 // TrimList filters a slice-pointer list in place, dropping slices with
 // timestamps ≤ frontier, and returns the retained list. Threads call this

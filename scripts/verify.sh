@@ -1,0 +1,36 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate, run by `make verify` and CI.
+#
+# Steps, in order of how fast they fail:
+#   1. gofmt      — no unformatted files
+#   2. go vet     — static checks
+#   3. go build   — everything compiles
+#   4. go test    — full suite
+#   5. race tests — the packages with real concurrency, under -race with
+#                   GOMAXPROCS oversubscribed (the off-monitor diff/apply
+#                   windows only interleave when the host preempts)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> race tests (GOMAXPROCS=4)"
+GOMAXPROCS=4 go test -race ./internal/core/ ./internal/slicestore/ ./internal/kendo/
+
+echo "verify: OK"
