@@ -16,6 +16,7 @@ import (
 
 	"rfdet"
 	"rfdet/internal/replay"
+	"rfdet/internal/stats"
 	"rfdet/internal/workloads"
 )
 
@@ -343,6 +344,94 @@ func BenchmarkMonitorContention(b *testing.B) {
 	b.ReportMetric(float64(st.MonitorAcquires), "monitor-acquires")
 	b.ReportMetric(float64(st.DiffNanos), "diff-ns")
 	b.ReportMetric(float64(st.ApplyNanos), "apply-ns")
+}
+
+// BenchmarkSparseWriteDiff quantifies the sub-page dirty-tracking win: four
+// threads each touch many pages per slice but write only 16 bytes per page,
+// the sparse-write pattern (scattered updates to a large shared structure)
+// where full-page diffing does ~256× more byte comparisons than the writes
+// justify. The "extent" and "fullpage" variants run the identical program
+// with extent-guided and seed-style full-page slice diffing; "diff-ns" is
+// the wall time spent in slice-end diffing, "scanned-bytes"/"skipped-bytes"
+// the new Stats counters. The final "speedup" entry reports the
+// fullpage/extent diff-time ratio — the tentpole's headline number.
+func BenchmarkSparseWriteDiff(b *testing.B) {
+	const (
+		workers = 4
+		rounds  = 20
+		pages   = 64
+	)
+	prog := func(t rfdet.Thread) {
+		data := t.Malloc(pages * 4096)
+		mu := rfdet.Addr(64)
+		var ids []rfdet.ThreadID
+		for w := 0; w < workers; w++ {
+			me := uint64(w + 1)
+			ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+				for round := 0; round < rounds; round++ {
+					t.Lock(mu)
+					for p := 0; p < pages; p++ {
+						// 16 bytes per page, at a per-worker offset: each
+						// slice snapshots every page but dirties a sliver.
+						a := data + rfdet.Addr(4096*p+256*int(me))
+						t.Store64(a, t.Load64(a)+me*0x9e3779b97f4a7c15)
+						t.Store64(a+8, t.Load64(a+8)+me)
+					}
+					t.Unlock(mu)
+					t.Tick(50 * me)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+		var fold uint64
+		for p := 0; p < pages; p++ {
+			fold = fold*31 + t.Load64(data+rfdet.Addr(4096*p+256))
+		}
+		t.Observe(fold)
+	}
+	var diffNS [2]float64 // extent, fullpage
+	var hash [2]uint64
+	for vi, variant := range []struct {
+		name     string
+		fullPage bool
+	}{{"extent", false}, {"fullpage", true}} {
+		vi, variant := vi, variant
+		b.Run(variant.name, func(b *testing.B) {
+			opts := rfdet.DefaultOptions()
+			opts.FullPageDiff = variant.fullPage
+			rt := rfdet.New(opts)
+			var st rfdet.Stats
+			var first uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = rep.OutputHash
+				} else if rep.OutputHash != first {
+					b.Fatal("sparse-write benchmark nondeterministic across iterations")
+				}
+				st = rep.Stats
+			}
+			hash[vi] = first
+			diffNS[vi] = float64(st.DiffNanos)
+			b.ReportMetric(float64(st.DiffNanos), "diff-ns")
+			b.ReportMetric(float64(st.DiffBytesScanned), "scanned-bytes")
+			b.ReportMetric(float64(st.DiffBytesSkipped), "skipped-bytes")
+			b.ReportMetric(float64(st.DirtyExtents), "extents")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		if hash[0] != hash[1] {
+			b.Fatalf("extent and fullpage outputs differ: %#x != %#x", hash[0], hash[1])
+		}
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(stats.Ratio(diffNS[1], diffNS[0]), "diff-speedup-x")
+	})
 }
 
 // BenchmarkRecordingOverhead quantifies the §2 comparison between DMT and

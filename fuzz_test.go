@@ -238,6 +238,46 @@ func TestFuzzOrderPreservingOptionsAgreeOnRaces(t *testing.T) {
 	}
 }
 
+// TestFuzzFullPageDiffAgrees: extent-guided slice diffing must be invisible
+// to program results. The dirty extents are a superset of each slice's
+// written bytes and diffing inside them excludes same-value overwrites
+// exactly like the full-page scan, so the modification lists — and therefore
+// every propagated byte — are identical with Options.FullPageDiff on or off.
+// That makes this a *strict* equivalence: even racy programs, under either
+// monitor and with the order-preserving optimizations stacked on, must
+// produce bit-identical output hashes.
+func TestFuzzFullPageDiffAgrees(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	bases := []rfdet.Options{
+		{Monitor: rfdet.MonitorCI},
+		{Monitor: rfdet.MonitorPF},
+		{Monitor: rfdet.MonitorCI, LazyWrites: true},
+		{Monitor: rfdet.MonitorCI, SliceMerging: true, Prelock: true},
+	}
+	for seed := int64(700); seed < 700+int64(seeds); seed++ {
+		prog := fuzzProgram(seed, false)
+		for _, base := range bases {
+			var hashes [2]uint64
+			for i, full := range []bool{false, true} {
+				o := base
+				o.FullPageDiff = full
+				rep, err := rfdet.New(o).Run(prog)
+				if err != nil {
+					t.Fatalf("seed %d opts %+v: %v", seed, o, err)
+				}
+				hashes[i] = rep.OutputHash
+			}
+			if hashes[0] != hashes[1] {
+				t.Fatalf("seed %d opts %+v: extent-guided diff changed the result (%#x != %#x)",
+					seed, base, hashes[0], hashes[1])
+			}
+		}
+	}
+}
+
 // TestFuzzValidated runs generated programs with the DLRC invariant checker
 // enabled: the slice lists must satisfy the happens-before structure of
 // §4.2/§4.3 on every execution.

@@ -153,6 +153,11 @@ type Stats struct {
 	PageFaults              uint64 // simulated write-protection faults (pf monitor)
 	PageProtects            uint64 // simulated per-page mprotect operations
 
+	// Sub-page dirty tracking (extent-guided slice diffing).
+	DirtyExtents     uint64 // dirty extents consumed by slice-end diffs
+	DiffBytesScanned uint64 // snapshot bytes actually compared by slice-end diffs
+	DiffBytesSkipped uint64 // snapshot bytes skipped thanks to dirty extents
+
 	// Kendo internals.
 	TurnWaits uint64 // sync ops that had to wait for the deterministic turn
 
@@ -193,6 +198,9 @@ func (s *Stats) Add(other *Stats) {
 	s.LazyRunsElided += other.LazyRunsElided
 	s.PageFaults += other.PageFaults
 	s.PageProtects += other.PageProtects
+	s.DirtyExtents += other.DirtyExtents
+	s.DiffBytesScanned += other.DiffBytesScanned
+	s.DiffBytesSkipped += other.DiffBytesSkipped
 	s.TurnWaits += other.TurnWaits
 	s.MonitorAcquires += other.MonitorAcquires
 	s.DiffNanos += other.DiffNanos

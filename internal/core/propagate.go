@@ -65,6 +65,16 @@ func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicesto
 // the caller need not hold the monitor — unless t is a *blocked* thread
 // being pre-merged into by somebody else, in which case the caller must hold
 // exec.mu (which is what proves t stays blocked).
+//
+// Applied runs are deliberately invisible to the space's sub-page dirty
+// tracking (mem.ApplyRuns bypasses the store hooks): every apply path runs
+// between the target thread's slices — its snapshots are empty, or, with
+// lazy writes, the pended runs flush before the page's next snapshot — so
+// the snapshot baseline of the following slice already contains them. Were
+// they marked dirty, the next slice-end diff would merely scan bytes that
+// equal the snapshot; by staying unmarked they keep the extent set the exact
+// write-set of the slice (§4.3's "must not be monitored as local
+// modifications").
 func (t *thread) applySlices(slices []*slicestore.Slice, prelock bool) {
 	if len(slices) == 0 {
 		return

@@ -84,6 +84,15 @@ type Options struct {
 	// them, exactly the caveat the paper attaches to the idea; the result
 	// is still deterministic.
 	NoCommHint func(tid int32) bool
+	// FullPageDiff disables sub-page dirty tracking and the extent-guided
+	// diff fast path: slice-end diffing byte-scans every snapshotted page in
+	// full, exactly as the seed runtime did and as the paper's implementation
+	// must (mprotect write detection only learns page granularity, §4.2).
+	// Results are identical either way — the fast path only changes which
+	// bytes are *scanned*, never which modifications are found — so this
+	// option exists for the equivalence tests and the before/after
+	// benchmarks (BenchmarkSparseWriteDiff).
+	FullPageDiff bool
 	// Validate enables the post-execution DLRC invariant checker (tests).
 	Validate bool
 	// Trace records every synchronization operation in deterministic

@@ -337,6 +337,9 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		w.space.Release()
 		w.space = leader.space.Clone()
 		w.space.SetFaultHandler(w.onFault)
+		// Clone does not inherit dirty tracking; re-enable it for the
+		// arrival's next slice.
+		w.enableDirtyTracking()
 		w.slicePtrs = append(w.slicePtrs[:0], leader.slicePtrs...)
 		w.vtime = w.vtime.Join(merged)
 		w.preMerged = nil
@@ -386,6 +389,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		wake:       make(chan wakeEvent, 1),
 	}
 	child.space.SetFaultHandler(child.onFault)
+	child.enableDirtyTracking()
 	child.slicePtrs = append(child.slicePtrs, t.slicePtrs...)
 	if e.opts.LazyWrites {
 		child.pending = make(map[mem.PageID][]mem.Run)
@@ -404,6 +408,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	// modifications (§4.1).
 	if !t.monitoring {
 		t.monitoring = true
+		t.enableDirtyTracking()
 		if e.opts.LazyWrites && t.pending == nil {
 			t.pending = make(map[mem.PageID][]mem.Run)
 		}

@@ -269,58 +269,141 @@ func (t *thread) beginSlice() {
 	}
 }
 
-// minPagesForParallelDiff is the snapshot count below which fanning page
-// diffs out to the worker pool is not worth the goroutine handoff.
-const minPagesForParallelDiff = 4
+// enableDirtyTracking turns on sub-page dirty tracking for the thread's
+// space. Called wherever a thread starts (or resumes, after a barrier
+// re-clone) monitoring modifications; a no-op under Options.FullPageDiff,
+// which forces the seed's full-page scanning.
+func (t *thread) enableDirtyTracking() {
+	if !t.exec.opts.FullPageDiff {
+		t.space.SetDirtyTracking(true)
+	}
+}
+
+// minBytesForParallelDiff is the total scan size below which fanning diff
+// tasks out to the worker pool is not worth the goroutine handoff. Equals
+// the seed's threshold of 4 whole pages.
+const minBytesForParallelDiff = 4 * mem.PageSize
+
+// diffTaskBytes is the target scan size of one worker task. Extent groups —
+// not whole pages — are the unit of fan-out, so a slice of sparsely written
+// pages produces small tasks while one densely written page can still be
+// diffed as a unit.
+const diffTaskBytes = mem.PageSize
+
+// diffTask is one worker-pool unit: a group of dirty extents on one page.
+type diffTask struct {
+	pid  mem.PageID
+	exts []mem.Extent
+}
+
+// fullPageExtent is the scan list for a page without dirty-extent
+// information: the whole page, exactly the seed's behavior.
+var fullPageExtent = []mem.Extent{{Off: 0, Len: mem.PageSize}}
 
 // finishSlice ends the current slice: each snapshotted page is byte-diffed
 // against its current contents to produce the modification list (§4.2). It
 // returns nil when the slice made no modifications. The snapshot memory is
 // released immediately after diffing, as in §5.4.
 //
+// When the space carries sub-page dirty extents, only those extents are
+// scanned (DiffPageExtents): the diff is O(written bytes), not O(snapshotted
+// pages × page size). Pages without extent information — tracking off, or
+// Options.FullPageDiff — fall back to a full-page scan. Either way the
+// resulting modification list is byte-for-byte identical (see
+// mem.DiffPageExtents for the argument), and the virtual-time model still
+// charges vtime.DiffPage per snapshotted page: the paper's system cannot see
+// sub-page extents, so the win is host wall time (DiffNanos), deliberately
+// invisible to the deterministic virtual clock and the trace.
+//
 // finishSlice touches only thread-private state (the snapshots, the space)
 // and runs OFF the exec monitor, between winning the deterministic turn and
 // taking e.mu — the monitor decomposition that keeps the most expensive
-// per-sync work from serializing unrelated threads. Large slices fan the
-// per-page diffs out to the bounded exec.diffSem worker pool; the runs are
-// reassembled in snapOrder, so the modification list is identical to the
-// sequential one.
+// per-sync work from serializing unrelated threads. Large scans fan out as
+// per-extent-group tasks to the bounded exec.diffSem worker pool; the runs
+// are reassembled in (snapOrder, extent) order, so the modification list is
+// identical to the sequential one.
 func (t *thread) finishSlice() *slicestore.Slice {
 	if len(t.snapOrder) == 0 {
+		t.space.ResetDirty()
 		return nil
 	}
 	start := time.Now()
-	perPage := make([][]mem.Run, len(t.snapOrder))
-	if len(t.snapOrder) >= minPagesForParallelDiff && cap(t.exec.diffSem) > 1 {
+	useExtents := t.space.DirtyTracking() && !t.exec.opts.FullPageDiff
+	tasks := make([]diffTask, 0, len(t.snapOrder))
+	var scanBytes uint64
+	for _, pid := range t.snapOrder {
+		exts := fullPageExtent
+		if useExtents {
+			if de := t.space.DirtyExtentsOf(pid); de != nil {
+				exts = de
+			}
+		}
+		bytes := mem.ExtentBytes(exts)
+		t.st.DirtyExtents += uint64(len(exts))
+		t.st.DiffBytesScanned += bytes
+		if bytes < mem.PageSize {
+			t.st.DiffBytesSkipped += mem.PageSize - bytes
+		}
+		scanBytes += bytes
+		if bytes <= diffTaskBytes || len(exts) == 1 {
+			tasks = append(tasks, diffTask{pid: pid, exts: exts})
+			continue
+		}
+		// A heavily written page splits into several tasks so the pool can
+		// balance it; group boundaries fall on extent boundaries, which are
+		// also run boundaries, so reassembly stays exact.
+		var group []mem.Extent
+		var groupBytes uint64
+		for _, e := range exts {
+			group = append(group, e)
+			groupBytes += uint64(e.Len)
+			if groupBytes >= diffTaskBytes {
+				tasks = append(tasks, diffTask{pid: pid, exts: group})
+				group, groupBytes = nil, 0
+			}
+		}
+		if len(group) > 0 {
+			tasks = append(tasks, diffTask{pid: pid, exts: group})
+		}
+	}
+	perTask := make([][]mem.Run, len(tasks))
+	diffOne := func(i int) {
+		tk := tasks[i]
+		perTask[i] = mem.DiffPageExtents(tk.pid, t.snapshots[tk.pid], t.space.PageData(tk.pid), tk.exts)
+	}
+	if len(tasks) > 1 && scanBytes >= minBytesForParallelDiff && cap(t.exec.diffSem) > 1 {
 		var wg sync.WaitGroup
-		for i, pid := range t.snapOrder {
+		for i := range tasks {
 			select {
 			case t.exec.diffSem <- struct{}{}:
 				wg.Add(1)
-				go func(i int, pid mem.PageID) {
+				go func(i int) {
 					defer wg.Done()
-					perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+					diffOne(i)
 					<-t.exec.diffSem
-				}(i, pid)
+				}(i)
 			default:
 				// Pool saturated: diff inline rather than queueing.
-				perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+				diffOne(i)
 			}
 		}
 		wg.Wait()
 	} else {
-		for i, pid := range t.snapOrder {
-			perPage[i] = mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))
+		for i := range tasks {
+			diffOne(i)
 		}
 	}
 	var mods []mem.Run
-	for i, pid := range t.snapOrder {
-		mods = append(mods, perPage[i]...)
+	for i := range tasks {
+		mods = append(mods, perTask[i]...)
+	}
+	for _, pid := range t.snapOrder {
 		t.exec.store.FreeSnapshot()
 		t.vt += vtime.DiffPage
 		delete(t.snapshots, pid)
 	}
 	t.snapOrder = t.snapOrder[:0]
+	t.space.ResetDirty()
 	t.st.DiffNanos += uint64(time.Since(start))
 	if len(mods) == 0 {
 		return nil

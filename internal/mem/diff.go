@@ -20,6 +20,12 @@ func (r Run) End() uint64 { return r.Addr + uint64(len(r.Data)) }
 // bytes that were overwritten with the same value — which is what implements
 // the deterministic "prefer local writes when the remote write is redundant"
 // conflict policy discussed in §4.6.
+//
+// Only the common prefix of snapshot and current is compared: when the
+// snapshot is shorter than the page, the tail beyond len(snapshot) has no
+// baseline to diff against and is deliberately ignored (it contributes no
+// runs). Snapshots taken by Space.Snapshot are always full pages, so the
+// truncated case arises only for callers that snapshot partial pages.
 func DiffPage(pageID PageID, snapshot, current []byte) []Run {
 	base := PageAddr(pageID)
 	var runs []Run
@@ -41,6 +47,54 @@ func DiffPage(pageID PageID, snapshot, current []byte) []Run {
 		copy(data, current[i:j])
 		runs = append(runs, Run{Addr: base + uint64(i), Data: data})
 		i = j
+	}
+	return runs
+}
+
+// DiffPageExtents is DiffPage restricted to the page's dirty extents: only
+// the bytes inside exts are compared against the snapshot, making the diff
+// O(written bytes) instead of O(page size). It produces *byte-for-byte
+// identical* runs to DiffPage provided exts is a sorted, coalesced,
+// gap-separated superset of the bytes modified since the snapshot (the
+// invariant Space's dirty tracking maintains):
+//
+//   - every byte outside all extents was never written, so it equals the
+//     snapshot and would not start or extend a run in DiffPage either;
+//   - coalescing leaves at least one clean byte between extents, so no
+//     maximal run of differing bytes can cross an extent boundary;
+//   - the byte-by-byte comparison inside each extent excludes same-value
+//     overwrites exactly as DiffPage does, preserving the §4.6 "prefer
+//     local when the remote write is redundant" policy.
+//
+// Like DiffPage, only the common prefix of snapshot and current is
+// compared: extents are clamped to min(len(snapshot), len(current)).
+func DiffPageExtents(pageID PageID, snapshot, current []byte, exts []Extent) []Run {
+	base := PageAddr(pageID)
+	n := len(current)
+	if len(snapshot) < n {
+		n = len(snapshot)
+	}
+	var runs []Run
+	for _, e := range exts {
+		i := int(e.Off)
+		end := int(e.End())
+		if end > n {
+			end = n
+		}
+		for i < end {
+			if snapshot[i] == current[i] {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < end && snapshot[j] != current[j] {
+				j++
+			}
+			data := make([]byte, j-i)
+			copy(data, current[i:j])
+			runs = append(runs, Run{Addr: base + uint64(i), Data: data})
+			i = j
+		}
 	}
 	return runs
 }

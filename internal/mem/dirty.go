@@ -1,0 +1,219 @@
+package mem
+
+// Sub-page dirty-extent tracking.
+//
+// The paper's implementation detects writes with mprotect/SIGSEGV page
+// faults (§4.2–4.3), so the finest granularity it can learn *cheaply* is a
+// page: the diff at slice end must byte-scan every snapshotted page to
+// recover the modified bytes. Our simulated Space intercepts every monitored
+// store, so it can record *exactly* which bytes were written and hand the
+// slice-end diff a precise scan list — the Louvre-style observation
+// (PAPERS.md) that ordering metadata can live at sub-page granularity.
+//
+// Each tracked page keeps a coalescing interval list of written ranges and
+// degrades to a per-64-byte-chunk bitmap (one uint64 per page) once the list
+// fragments past maxExtentsPerPage. Both representations are strict
+// *supersets* of the bytes modified since the slice's page snapshot: extents
+// record where writes happened, not whether they changed anything, so
+// same-value overwrites are included and the §4.6 redundant-write exclusion
+// still happens byte-by-byte in the diff itself (DiffPageExtents). The
+// superset property is what makes extent-guided diffing exactly equivalent
+// to a full-page scan: every byte outside all extents was never written and
+// therefore equals the snapshot.
+//
+// The tracker is reset at every slice end; propagation writes (ApplyRuns)
+// are intentionally NOT tracked — they land only between slices, before any
+// snapshot of the affected page exists, so the snapshot baseline already
+// contains them (§4.3's "must not be monitored as local modifications").
+
+// Extent is a dirty byte range [Off, Off+Len) within one page.
+type Extent struct {
+	Off uint32
+	Len uint32
+}
+
+// End returns the first offset past the extent.
+func (e Extent) End() uint32 { return e.Off + e.Len }
+
+const (
+	// ChunkShift is log2 of the bitmap chunk size.
+	ChunkShift = 6
+	// ChunkSize is the dirty-bitmap granularity in bytes. PageSize/ChunkSize
+	// is exactly 64, so the fallback bitmap is a single uint64 per page.
+	ChunkSize = 1 << ChunkShift
+	// maxExtentsPerPage is the fragmentation threshold: when coalescing would
+	// leave more than this many intervals on one page, the page degrades to
+	// the chunk bitmap (O(1) marking, ≤64-byte scan granularity) instead of
+	// paying O(extents) insertion on every store.
+	maxExtentsPerPage = 16
+)
+
+// dirtyPage is one page's dirty state: either a sorted, coalesced interval
+// list (precise) or a per-chunk bitmap (compact, after fragmentation).
+type dirtyPage struct {
+	extents   []Extent
+	bitmap    uint64
+	bitmapped bool
+}
+
+// chunkMask returns the bitmap bits covering [off, off+n).
+func chunkMask(off, n uint32) uint64 {
+	lo := off >> ChunkShift
+	hi := (off + n - 1) >> ChunkShift
+	width := hi - lo + 1
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return ((uint64(1) << width) - 1) << lo
+}
+
+// mark records the write [off, off+n) on the page.
+func (d *dirtyPage) mark(off, n uint32) {
+	if n == 0 {
+		return
+	}
+	if d.bitmapped {
+		d.bitmap |= chunkMask(off, n)
+		return
+	}
+	end := off + n
+	// Find the range of existing extents that overlap or touch [off, end):
+	// touching intervals merge too, keeping the list gap-separated, which is
+	// what lets DiffPageExtents treat extent boundaries as run boundaries.
+	i := 0
+	for i < len(d.extents) && d.extents[i].End() < off {
+		i++
+	}
+	j := i
+	for j < len(d.extents) && d.extents[j].Off <= end {
+		j++
+	}
+	if i == j {
+		// No overlap: plain insertion at i.
+		d.extents = append(d.extents, Extent{})
+		copy(d.extents[i+1:], d.extents[i:])
+		d.extents[i] = Extent{Off: off, Len: n}
+	} else {
+		// Merge [i, j) with the new range.
+		if d.extents[i].Off < off {
+			off = d.extents[i].Off
+		}
+		if e := d.extents[j-1].End(); e > end {
+			end = e
+		}
+		d.extents[i] = Extent{Off: off, Len: end - off}
+		d.extents = append(d.extents[:i+1], d.extents[j:]...)
+	}
+	if len(d.extents) > maxExtentsPerPage {
+		d.toBitmap()
+	}
+}
+
+// toBitmap converts the interval list into the chunk bitmap.
+func (d *dirtyPage) toBitmap() {
+	var bm uint64
+	for _, e := range d.extents {
+		bm |= chunkMask(e.Off, e.Len)
+	}
+	d.bitmap = bm
+	d.bitmapped = true
+	d.extents = nil
+}
+
+// snapshotExtents renders the page's dirty set as a sorted, coalesced,
+// gap-separated extent list. In bitmap mode, runs of consecutive set chunks
+// coalesce into single extents.
+func (d *dirtyPage) snapshotExtents() []Extent {
+	if !d.bitmapped {
+		return d.extents
+	}
+	var out []Extent
+	bm := d.bitmap
+	for c := uint32(0); c < PageSize/ChunkSize; c++ {
+		if bm&(1<<c) == 0 {
+			continue
+		}
+		start := c
+		for c+1 < PageSize/ChunkSize && bm&(1<<(c+1)) != 0 {
+			c++
+		}
+		out = append(out, Extent{Off: start * ChunkSize, Len: (c - start + 1) * ChunkSize})
+	}
+	return out
+}
+
+// ExtentBytes returns the total byte length of exts.
+func ExtentBytes(exts []Extent) uint64 {
+	var n uint64
+	for _, e := range exts {
+		n += uint64(e.Len)
+	}
+	return n
+}
+
+//
+// Space-level tracking.
+//
+
+// SetDirtyTracking enables or disables sub-page dirty tracking on this
+// space. Disabling also discards any recorded state. The RFDet monitors
+// enable tracking when a thread starts monitoring modifications; baselines
+// that diff full pages (DThreads) leave it off and pay the full-page scan.
+func (s *Space) SetDirtyTracking(on bool) {
+	s.trackDirty = on
+	if !on {
+		s.ResetDirty()
+	} else if s.dirty == nil {
+		s.dirty = make(map[PageID]*dirtyPage)
+	}
+}
+
+// DirtyTracking reports whether sub-page dirty tracking is enabled.
+func (s *Space) DirtyTracking() bool { return s.trackDirty }
+
+// ResetDirty discards all recorded dirty extents (slice end).
+func (s *Space) ResetDirty() {
+	for id := range s.dirty {
+		delete(s.dirty, id)
+	}
+	s.dirtyOrder = s.dirtyOrder[:0]
+	s.lastDirtyID, s.lastDirty = 0, nil
+}
+
+// DirtyPageCount returns the number of pages with recorded dirty extents.
+func (s *Space) DirtyPageCount() int { return len(s.dirty) }
+
+// DirtyPages returns the dirty pages in first-write order — the same order
+// in which the monitor snapshotted them, since the snapshot is taken on the
+// first write of a page in a slice and the mark lands with that write. The
+// returned slice aliases internal state; do not retain it across ResetDirty.
+func (s *Space) DirtyPages() []PageID { return s.dirtyOrder }
+
+// DirtyExtentsOf returns page id's dirty extents as a sorted, coalesced,
+// gap-separated list, or nil if the page has no recorded writes (or
+// tracking is off). The returned extents are a superset of the bytes
+// modified since the page's snapshot; see DiffPageExtents.
+func (s *Space) DirtyExtentsOf(id PageID) []Extent {
+	d, ok := s.dirty[id]
+	if !ok {
+		return nil
+	}
+	return d.snapshotExtents()
+}
+
+// markDirty records a write of n bytes at page-local offset off. The
+// single-entry cache makes tight loops over one page skip the map lookup.
+func (s *Space) markDirty(id PageID, off, n uint32) {
+	d := s.lastDirty
+	if d == nil || s.lastDirtyID != id {
+		var ok bool
+		d, ok = s.dirty[id]
+		if !ok {
+			d = &dirtyPage{}
+			s.dirty[id] = d
+			s.dirtyOrder = append(s.dirtyOrder, id)
+		}
+		s.lastDirtyID, s.lastDirty = id, d
+	}
+	d.mark(off, n)
+}

@@ -97,6 +97,16 @@ type Space struct {
 	onFault FaultHandler
 	// zero is returned for reads of unmapped pages.
 	zero Page
+
+	// Sub-page dirty tracking (dirty.go): per-page written-byte extents,
+	// recorded on every store while trackDirty is set and reset at slice
+	// end. lastDirtyID/lastDirty cache the most recently marked page so
+	// loops over one page skip the map lookup.
+	trackDirty  bool
+	dirty       map[PageID]*dirtyPage
+	dirtyOrder  []PageID
+	lastDirtyID PageID
+	lastDirty   *dirtyPage
 }
 
 // NewSpace returns an empty address space.
@@ -111,8 +121,10 @@ func NewSpace() *Space {
 func (s *Space) SetFaultHandler(h FaultHandler) { s.onFault = h }
 
 // Clone returns a copy-on-write duplicate of s, as a child process would
-// inherit its parent's memory through clone() (§4.1). Protections are not
-// inherited; the child starts with all pages ProtRW.
+// inherit its parent's memory through clone() (§4.1). Protections and
+// dirty-tracking state are not inherited; the child starts with all pages
+// ProtRW and tracking off (the runtime re-enables it when the owning
+// thread starts monitoring).
 func (s *Space) Clone() *Space {
 	c := NewSpace()
 	for id, p := range s.pages {
@@ -262,6 +274,9 @@ func (s *Space) Store8(a uint64, v uint8) {
 	id := PageOf(a)
 	s.checkFault(id, true)
 	s.writablePage(id).Data[a&PageMask] = v
+	if s.trackDirty {
+		s.markDirty(id, uint32(a&PageMask), 1)
+	}
 }
 
 // Load32 reads a little-endian uint32 (may straddle a page boundary).
@@ -282,6 +297,9 @@ func (s *Space) Store32(a uint64, v uint32) {
 		id := PageOf(a)
 		s.checkFault(id, true)
 		binary.LittleEndian.PutUint32(s.writablePage(id).Data[a&PageMask:], v)
+		if s.trackDirty {
+			s.markDirty(id, uint32(a&PageMask), 4)
+		}
 		return
 	}
 	var buf [4]byte
@@ -307,6 +325,9 @@ func (s *Space) Store64(a uint64, v uint64) {
 		id := PageOf(a)
 		s.checkFault(id, true)
 		binary.LittleEndian.PutUint64(s.writablePage(id).Data[a&PageMask:], v)
+		if s.trackDirty {
+			s.markDirty(id, uint32(a&PageMask), 8)
+		}
 		return
 	}
 	var buf [8]byte
@@ -333,6 +354,9 @@ func (s *Space) WriteBytes(a uint64, data []byte) {
 		s.checkFault(id, true)
 		off := a & PageMask
 		n := copy(s.writablePage(id).Data[off:], data)
+		if s.trackDirty {
+			s.markDirty(id, uint32(off), uint32(n))
+		}
 		data = data[n:]
 		a += uint64(n)
 	}

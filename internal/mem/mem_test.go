@@ -142,6 +142,35 @@ func TestDiffPageProperties(t *testing.T) {
 	}
 }
 
+// TestDiffPageTruncatedSnapshot pins the contract documented on DiffPage:
+// only the common prefix of snapshot and current is compared, so a snapshot
+// shorter than the page silently contributes no runs for the tail — even
+// when the tail's current bytes are nonzero.
+func TestDiffPageTruncatedSnapshot(t *testing.T) {
+	cur := make([]byte, PageSize)
+	for i := range cur {
+		cur[i] = byte(i) | 1 // nonzero everywhere
+	}
+	snap := []byte{0, 0, 0, 0}
+	runs := DiffPage(3, snap, cur)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want exactly 1 (the prefix)", len(runs))
+	}
+	base := PageAddr(3)
+	if runs[0].Addr != base || len(runs[0].Data) != len(snap) {
+		t.Fatalf("run %+v: want addr %#x, len %d — tail beyond the snapshot must be ignored",
+			runs[0], base, len(snap))
+	}
+	// Zero-length snapshot: nothing to compare, no runs at all.
+	if runs := DiffPage(3, nil, cur); len(runs) != 0 {
+		t.Fatalf("nil snapshot produced %d runs", len(runs))
+	}
+	// The symmetric case — current shorter than snapshot — likewise clamps.
+	if runs := DiffPage(3, cur, []byte{1}); len(runs) != 0 {
+		t.Fatalf("short current: got %v, want no runs (cur[0]==snap[0])", runs)
+	}
+}
+
 func TestDiffPageEmptyOnIdentical(t *testing.T) {
 	snap := make([]byte, PageSize)
 	cur := make([]byte, PageSize)

@@ -61,6 +61,16 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Ratio returns num/den, or 0 when den is 0. Used for speedup and
+// normalization figures where a missing baseline should read as "no data"
+// rather than Inf/NaN.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // Stddev returns the population standard deviation of xs.
 func Stddev(xs []float64) float64 {
 	if len(xs) < 2 {

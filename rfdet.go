@@ -86,6 +86,11 @@ const (
 // New returns an RFDet runtime with explicit options.
 func New(opts Options) Runtime { return core.New(opts) }
 
+// DefaultOptions returns the paper's best-performing RFDet-ci configuration
+// (all optimizations on) — the options NewCI runs with. Callers that need
+// one tweak start from here instead of reconstructing the option set.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
 // NewCI returns RFDet-ci with all optimizations enabled — the paper's
 // best-performing configuration.
 func NewCI() Runtime { return core.New(core.DefaultOptions()) }

@@ -1,0 +1,165 @@
+package rfdet_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+
+	"rfdet"
+	"rfdet/internal/core"
+	"rfdet/internal/litmus"
+	"rfdet/internal/workloads"
+)
+
+// Seed-behavior regression wall for the extent-guided diff change.
+//
+// These constants were captured from the pre-change runtime (full-page
+// diffing) at commit 27aee6c, at GOMAXPROCS 1, 2, 4 and 8 — all identical,
+// as determinism demands. Sub-page dirty tracking must be *invisible*: it
+// changes which bytes the slice-end diff scans, never which modifications
+// it finds, and the virtual-time model still charges vtime.DiffPage per
+// snapshotted page. So outputs, virtual times AND full traces (which embed
+// per-event virtual clocks) must remain bit-identical to the seed. If one
+// of these values ever changes, the diff fast path altered observable
+// behavior — that is a bug, not a baseline refresh.
+const (
+	goldenLitmusHash = uint64(0x56dfa6306050903f)
+
+	goldenWordcountOutput = uint64(0xa96fd08b553d74e4)
+	goldenWordcountVTime  = uint64(37073)
+	goldenWordcountTrace  = uint64(0xd6e8467b5b0149ef)
+
+	goldenFFTOutput = uint64(0x2c11c3233a156078)
+	goldenFFTVTime  = uint64(85814)
+	goldenFFTTrace  = uint64(0xf9c2d06607798849)
+
+	goldenRaceyOutput = uint64(0x22d8e78f10322389)
+	goldenRaceyVTime  = uint64(24179)
+)
+
+var regressionProcs = []int{1, 2, 4, 8}
+
+// seedConfig is the workload configuration the goldens were captured with.
+var seedConfig = workloads.Config{Threads: 4, Size: workloads.SizeTest}
+
+func fnvString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// TestSeedRegressionLitmus replays the full litmus suite under RFDet-ci and
+// checks the concatenated outcome digest against the seed.
+func TestSeedRegressionLitmus(t *testing.T) {
+	for _, p := range regressionProcs {
+		old := runtime.GOMAXPROCS(p)
+		var lit string
+		for _, tst := range litmus.Tests() {
+			outs, err := litmus.Observe(rfdet.NewCI(), tst, 3)
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				t.Fatalf("P=%d %s: %v", p, tst.Name, err)
+			}
+			lit += fmt.Sprintf("%s:%v;", tst.Name, outs)
+		}
+		runtime.GOMAXPROCS(old)
+		if h := fnvString(lit); h != goldenLitmusHash {
+			t.Fatalf("P=%d: litmus hash %#x, seed %#x — litmus outcomes changed", p, h, goldenLitmusHash)
+		}
+	}
+}
+
+// TestSeedRegressionTraces runs wordcount and fft traced, and racey
+// untraced, 5 times at each GOMAXPROCS in {1,2,4,8} — 20 runs per workload
+// — and demands the seed's exact output hashes, virtual times and trace
+// digests with dirty tracking live.
+func TestSeedRegressionTraces(t *testing.T) {
+	repeats := 5
+	if testing.Short() {
+		repeats = 1
+	}
+	goldens := []struct {
+		workload             string
+		output, vtime, trace uint64
+	}{
+		{"wordcount", goldenWordcountOutput, goldenWordcountVTime, goldenWordcountTrace},
+		{"fft", goldenFFTOutput, goldenFFTVTime, goldenFFTTrace},
+	}
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	rt := core.New(opts)
+	for _, p := range regressionProcs {
+		old := runtime.GOMAXPROCS(p)
+		for rep := 0; rep < repeats; rep++ {
+			for _, g := range goldens {
+				w, err := workloads.ByName(g.workload)
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatal(err)
+				}
+				r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("P=%d run %d %s: %v", p, rep, g.workload, err)
+				}
+				if r.OutputHash != g.output || r.VirtualTime != g.vtime {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("P=%d run %d %s: output=%#x vtime=%d, seed output=%#x vtime=%d",
+						p, rep, g.workload, r.OutputHash, r.VirtualTime, g.output, g.vtime)
+				}
+				if th := fnvString(tr.String()); th != g.trace {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("P=%d run %d %s: trace hash %#x, seed %#x — event-level behavior changed",
+						p, rep, g.workload, th, g.trace)
+				}
+			}
+			w, err := workloads.ByName("racey")
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				t.Fatal(err)
+			}
+			r, err := rfdet.NewCI().Run(w.Prog(seedConfig))
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				t.Fatalf("P=%d run %d racey: %v", p, rep, err)
+			}
+			if r.OutputHash != goldenRaceyOutput || r.VirtualTime != goldenRaceyVTime {
+				runtime.GOMAXPROCS(old)
+				t.Fatalf("P=%d run %d racey: output=%#x vtime=%d, seed output=%#x vtime=%d",
+					p, rep, r.OutputHash, r.VirtualTime, goldenRaceyOutput, goldenRaceyVTime)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestSeedRegressionFullPageDiffMatches closes the loop: the explicit
+// FullPageDiff escape hatch (which reproduces the seed's diffing verbatim)
+// must hit the same goldens — proving the goldens test the seed behavior,
+// not whatever the current default happens to be.
+func TestSeedRegressionFullPageDiffMatches(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	opts.FullPageDiff = true
+	rt := core.New(opts)
+	w, err := workloads.ByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OutputHash != goldenWordcountOutput || r.VirtualTime != goldenWordcountVTime {
+		t.Fatalf("FullPageDiff: output=%#x vtime=%d, seed output=%#x vtime=%d",
+			r.OutputHash, r.VirtualTime, goldenWordcountOutput, goldenWordcountVTime)
+	}
+	if th := fnvString(tr.String()); th != goldenWordcountTrace {
+		t.Fatalf("FullPageDiff: trace hash %#x, seed %#x", th, goldenWordcountTrace)
+	}
+	// And under full-page diffing no bytes are ever skipped.
+	if r.Stats.DiffBytesSkipped != 0 {
+		t.Fatalf("FullPageDiff skipped %d bytes", r.Stats.DiffBytesSkipped)
+	}
+}
