@@ -434,6 +434,251 @@ func BenchmarkSparseWriteDiff(b *testing.B) {
 	})
 }
 
+// BenchmarkBarrierPropagation is the coalesced write-plan headline: eight
+// threads each overwrite the SAME 16-page region between barriers, so every
+// barrier merge propagates 7 overlapping full-region write sets whose
+// last-writer-wins image is exactly one region. The seed applied all of them
+// run by run (O(threads × bytes) under the monitor); the write plan applies
+// each destination byte once (O(unique bytes)). Both variants run the
+// identical program and must produce the identical output hash; "apply-ns"
+// is the wall time in slice application and the final "speedup" entry is
+// the nocoalesce/coalesce apply-time ratio — the acceptance target is ≥2×.
+func BenchmarkBarrierPropagation(b *testing.B) {
+	const (
+		workers = 8
+		rounds  = 6
+		pages   = 16
+	)
+	prog := func(t rfdet.Thread) {
+		data := t.Malloc(pages * 4096)
+		bar := rfdet.Addr(64)
+		var ids []rfdet.ThreadID
+		for w := 0; w < workers; w++ {
+			me := uint64(w + 1)
+			ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+				for round := 0; round < rounds; round++ {
+					// Full overlap: every worker writes every word of the
+					// region, so the merge's unique bytes are 1/7 of its
+					// input bytes.
+					for p := 0; p < pages; p++ {
+						base := data + rfdet.Addr(4096*p)
+						for i := 0; i < 512; i++ {
+							t.Store64(base+rfdet.Addr(8*i), me*0x9e3779b97f4a7c15+uint64(round*512+i))
+						}
+					}
+					t.Barrier(bar, workers)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+		var fold uint64
+		for p := 0; p < pages; p++ {
+			fold = fold*31 + t.Load64(data+rfdet.Addr(4096*p))
+		}
+		t.Observe(fold)
+	}
+	var applyNS [2]float64 // coalesce, nocoalesce
+	var hash [2]uint64
+	for vi, variant := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"coalesce", false}, {"nocoalesce", true}} {
+		vi, variant := vi, variant
+		b.Run(variant.name, func(b *testing.B) {
+			opts := rfdet.DefaultOptions()
+			opts.NoCoalesce = variant.noCoalesce
+			rt := rfdet.New(opts)
+			var st rfdet.Stats
+			var first uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = rep.OutputHash
+				} else if rep.OutputHash != first {
+					b.Fatal("barrier benchmark nondeterministic across iterations")
+				}
+				st = rep.Stats
+			}
+			hash[vi] = first
+			applyNS[vi] = float64(st.ApplyNanos)
+			b.ReportMetric(float64(st.ApplyNanos), "apply-ns")
+			b.ReportMetric(float64(st.BytesPropagated), "propagated-bytes")
+			b.ReportMetric(float64(st.BytesCoalescedAway), "coalesced-away-bytes")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		if hash[0] != hash[1] {
+			b.Fatalf("coalesce and nocoalesce outputs differ: %#x != %#x", hash[0], hash[1])
+		}
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(stats.Ratio(applyNS[1], applyNS[0]), "apply-speedup-x")
+	})
+}
+
+// BenchmarkLockChainPropagation measures plan construction and sharing on a
+// deep lock-grant chain: six threads contend one mutex, each critical
+// section split into several slices by an atomic, with Prelock pre-merging
+// at every release. With coalescing, each release builds one plan and the
+// lockstep waiters reuse it ("plan-reuse"); overlapping writes across the
+// collected slices are deduplicated ("coalesced-away-bytes").
+func BenchmarkLockChainPropagation(b *testing.B) {
+	const (
+		workers = 6
+		rounds  = 10
+		words   = 4096 // 4 pages
+	)
+	prog := func(t rfdet.Thread) {
+		buf := t.Malloc(words * 8)
+		atom := t.Malloc(8)
+		mu := rfdet.Addr(64)
+		var ids []rfdet.ThreadID
+		for w := 0; w < workers; w++ {
+			me := uint64(w + 1)
+			ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+				for round := 0; round < rounds; round++ {
+					t.Lock(mu)
+					t.AtomicAdd64(atom, me)
+					for i := 0; i < words; i++ {
+						a := buf + rfdet.Addr(8*i)
+						t.Store64(a, t.Load64(a)+me)
+					}
+					t.Unlock(mu)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+		t.Observe(t.Load64(buf), t.Load64(atom))
+	}
+	var applyNS [2]float64
+	var hash [2]uint64
+	for vi, variant := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"coalesce", false}, {"nocoalesce", true}} {
+		vi, variant := vi, variant
+		b.Run(variant.name, func(b *testing.B) {
+			opts := rfdet.DefaultOptions()
+			opts.NoCoalesce = variant.noCoalesce
+			rt := rfdet.New(opts)
+			var st rfdet.Stats
+			var first uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = rep.OutputHash
+				} else if rep.OutputHash != first {
+					b.Fatal("lock-chain benchmark nondeterministic across iterations")
+				}
+				st = rep.Stats
+			}
+			hash[vi] = first
+			applyNS[vi] = float64(st.ApplyNanos)
+			b.ReportMetric(float64(st.ApplyNanos), "apply-ns")
+			b.ReportMetric(float64(st.PlanReuse), "plan-reuse")
+			b.ReportMetric(float64(st.BytesCoalescedAway), "coalesced-away-bytes")
+			b.ReportMetric(float64(st.CollectScanned), "collect-scanned")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		if hash[0] != hash[1] {
+			b.Fatalf("coalesce and nocoalesce outputs differ: %#x != %#x", hash[0], hash[1])
+		}
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(stats.Ratio(applyNS[1], applyNS[0]), "apply-speedup-x")
+	})
+}
+
+// BenchmarkLazyFlush measures the lazy-writes pending patch: a writer
+// repeatedly overwrites the same two pages under a lock while the consumer
+// keeps acquiring the lock without touching those pages, so every round
+// pends another full overwrite. The coalescing patch absorbs them
+// last-writer-wins and the single eventual flush writes each byte once; the
+// seed's raw list replayed every pended run. "elided-bytes" counts the
+// overwritten bytes the flush never wrote.
+func BenchmarkLazyFlush(b *testing.B) {
+	const (
+		rounds = 60
+		words  = 1024 // 2 pages, fully overwritten every round
+	)
+	prog := func(t rfdet.Thread) {
+		hot := t.Malloc(words * 8)
+		flag := t.Malloc(8)
+		mu := rfdet.Addr(64)
+		writer := t.Spawn(func(t rfdet.Thread) {
+			for round := 0; round < rounds; round++ {
+				t.Lock(mu)
+				for i := 0; i < words; i++ {
+					t.Store64(hot+rfdet.Addr(8*i), uint64(round)*0x0101010101010101+uint64(i))
+				}
+				t.Store64(flag, uint64(round))
+				t.Unlock(mu)
+			}
+		})
+		// The consumer acquires every release (so the hot pages' updates are
+		// propagated to it round after round) but reads only the flag page:
+		// the hot pages stay pended until the very last load below.
+		for round := 0; round < rounds; round++ {
+			t.Lock(mu)
+			t.Tick(200)
+			t.Unlock(mu)
+		}
+		t.Join(writer)
+		t.Observe(t.Load64(hot), t.Load64(hot+rfdet.Addr(8*(words-1))), t.Load64(flag))
+	}
+	var hash [2]uint64
+	for vi, variant := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"coalesce", false}, {"nocoalesce", true}} {
+		vi, variant := vi, variant
+		b.Run(variant.name, func(b *testing.B) {
+			opts := rfdet.DefaultOptions()
+			opts.NoCoalesce = variant.noCoalesce
+			if !opts.LazyWrites {
+				b.Fatal("default options lost lazy writes")
+			}
+			rt := rfdet.New(opts)
+			var st rfdet.Stats
+			var first uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = rep.OutputHash
+				} else if rep.OutputHash != first {
+					b.Fatal("lazy-flush benchmark nondeterministic across iterations")
+				}
+				st = rep.Stats
+			}
+			hash[vi] = first
+			b.ReportMetric(float64(st.LazyPendingApplied), "pended-runs-applied")
+			b.ReportMetric(float64(st.LazyRunsElided), "elided-bytes")
+			b.ReportMetric(float64(st.ApplyNanos), "apply-ns")
+		})
+	}
+	b.Run("agree", func(b *testing.B) {
+		if hash[0] != hash[1] {
+			b.Fatalf("coalesce and nocoalesce outputs differ: %#x != %#x", hash[0], hash[1])
+		}
+		for i := 0; i < b.N; i++ {
+		}
+	})
+}
+
 // BenchmarkRecordingOverhead quantifies the §2 comparison between DMT and
 // record-and-replay: an R+R system must log every synchronization operation
 // (reported as "log-bytes"), while a DMT system achieves replayability by

@@ -2,6 +2,7 @@
 //
 //	rfdet-bench figure7   execution time normalized to pthreads (Figure 7)
 //	rfdet-bench table1    per-benchmark profiling data (Table 1)
+//	rfdet-bench propagation  write-plan propagation profile
 //	rfdet-bench figure8   scalability, 2→4→8 threads (Figure 8)
 //	rfdet-bench figure9   prelock / lazy-writes optimization study (Figure 9)
 //	rfdet-bench racey     the §5.1 determinism stress test
@@ -27,7 +28,7 @@ func main() {
 	repeats := flag.Int("repeats", 1, "measurement repeats (median of virtual times)")
 	runs := flag.Int("runs", 20, "racey executions per configuration")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|figure8|figure9|racey|litmus|all\n")
+		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|propagation|figure8|figure9|racey|litmus|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +56,8 @@ func main() {
 		err = harness.Figure7(os.Stdout, sz, *threads, *repeats)
 	case "table1":
 		err = harness.Table1(os.Stdout, sz, *threads)
+	case "propagation":
+		err = harness.PropagationTable(os.Stdout, sz, *threads)
 	case "figure8":
 		err = harness.Figure8(os.Stdout, sz, *repeats)
 	case "figure9":

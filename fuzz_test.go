@@ -3,6 +3,7 @@ package rfdet_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"rfdet"
@@ -273,6 +274,55 @@ func TestFuzzFullPageDiffAgrees(t *testing.T) {
 			if hashes[0] != hashes[1] {
 				t.Fatalf("seed %d opts %+v: extent-guided diff changed the result (%#x != %#x)",
 					seed, base, hashes[0], hashes[1])
+			}
+		}
+	}
+}
+
+// TestFuzzNoCoalesceAgrees: coalesced write-plan propagation must be
+// invisible to program results. A plan writes, for every destination byte,
+// the value of the last run in slice-list order that covers it — exactly the
+// byte each propagated list leaves behind when applied run by run — and the
+// virtual-time model still charges per-slice apply costs. So this is a
+// *strict* equivalence like FullPageDiff: even racy programs, under either
+// monitor, with prelock plan sharing and lazy-writes patch pending stacked
+// on, at any GOMAXPROCS, must produce bit-identical output hashes with
+// Options.NoCoalesce on or off.
+func TestFuzzNoCoalesceAgrees(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	bases := []rfdet.Options{
+		{Monitor: rfdet.MonitorCI},
+		{Monitor: rfdet.MonitorPF},
+		{Monitor: rfdet.MonitorCI, SliceMerging: true, Prelock: true},
+		{Monitor: rfdet.MonitorCI, LazyWrites: true},
+		{Monitor: rfdet.MonitorCI, SliceMerging: true, Prelock: true, LazyWrites: true},
+		{Monitor: rfdet.MonitorPF, SliceMerging: true, Prelock: true, LazyWrites: true},
+	}
+	for seed := int64(900); seed < 900+int64(seeds); seed++ {
+		prog := fuzzProgram(seed, false)
+		for _, base := range bases {
+			var first uint64
+			haveFirst := false
+			for _, noCoalesce := range []bool{false, true} {
+				for _, procs := range []int{1, 2, 4, 8} {
+					old := runtime.GOMAXPROCS(procs)
+					o := base
+					o.NoCoalesce = noCoalesce
+					rep, err := rfdet.New(o).Run(prog)
+					runtime.GOMAXPROCS(old)
+					if err != nil {
+						t.Fatalf("seed %d opts %+v P=%d: %v", seed, o, procs, err)
+					}
+					if !haveFirst {
+						first, haveFirst = rep.OutputHash, true
+					} else if rep.OutputHash != first {
+						t.Fatalf("seed %d opts %+v P=%d: coalescing changed the result (%#x != %#x)",
+							seed, base, procs, rep.OutputHash, first)
+					}
+				}
 			}
 		}
 	}

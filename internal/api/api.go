@@ -172,6 +172,19 @@ type Stats struct {
 	MonitorAcquires uint64 // global-monitor lock acquisitions
 	DiffNanos       uint64 // wall nanos spent in page diffing
 	ApplyNanos      uint64 // wall nanos spent applying propagated runs
+
+	// Coalesced write-plan propagation observability. CollectScanned counts
+	// slice pointers examined by acquire-side collections — the O(list)
+	// scan cost the write plan does not remove. SliceListLen is the
+	// high-water length of any single collected list. BytesCoalescedAway is
+	// the modification bytes the last-writer-wins plan avoided writing
+	// (input bytes minus unique destination bytes). PlanReuse counts
+	// blocked waiters that reused a release's already-built plan instead of
+	// rebuilding it.
+	CollectScanned     uint64 // slice pointers scanned during collection
+	SliceListLen       uint64 // high-water collected slice-list length
+	BytesCoalescedAway uint64 // duplicate bytes elided by write plans
+	PlanReuse          uint64 // waiters that shared a cached write plan
 }
 
 // Add accumulates other into s.
@@ -205,6 +218,12 @@ func (s *Stats) Add(other *Stats) {
 	s.MonitorAcquires += other.MonitorAcquires
 	s.DiffNanos += other.DiffNanos
 	s.ApplyNanos += other.ApplyNanos
+	s.CollectScanned += other.CollectScanned
+	if other.SliceListLen > s.SliceListLen {
+		s.SliceListLen = other.SliceListLen
+	}
+	s.BytesCoalescedAway += other.BytesCoalescedAway
+	s.PlanReuse += other.PlanReuse
 	// High-water and pass counters take the max / sum as appropriate.
 	if other.SharedMemBytes > s.SharedMemBytes {
 		s.SharedMemBytes = other.SharedMemBytes

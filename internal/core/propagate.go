@@ -1,8 +1,10 @@
 package core
 
 import (
+	"sync"
 	"time"
 
+	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -39,6 +41,10 @@ import (
 // that set exactly, because the pre-merge may have applied slices that are
 // concurrent with everything the thread had officially seen.
 func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicestore.Slice {
+	t.st.CollectScanned += uint64(len(from.slicePtrs))
+	if l := uint64(len(from.slicePtrs)); l > t.st.SliceListLen {
+		t.st.SliceListLen = l
+	}
 	var out []*slicestore.Slice
 	for _, s := range from.slicePtrs {
 		if s.Time.Leq(lower) {
@@ -56,6 +62,52 @@ func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicesto
 	return out
 }
 
+// planCoalesceMin is the minimum propagated-list length for which building
+// a coalesced write plan can pay off: a single slice's runs are already
+// mutually disjoint (slice-end diffing emits gap-separated runs per page,
+// and a micro-slice carries one run), so there is nothing to coalesce.
+const planCoalesceMin = 2
+
+// minBytesForParallelApply is the plan size below which fanning per-page
+// copies out to the worker pool is not worth the goroutine handoff; mirrors
+// minBytesForParallelDiff.
+const minBytesForParallelApply = 4 * mem.PageSize
+
+// modLists extracts the ordered modification lists of an ordered slice
+// list — the input form mem.BuildPlan consumes.
+func modLists(slices []*slicestore.Slice) [][]mem.Run {
+	mods := make([][]mem.Run, len(slices))
+	for i, s := range slices {
+		mods[i] = s.Mods
+	}
+	return mods
+}
+
+// buildPlan collapses an ordered slice list into a last-writer-wins write
+// plan and accounts the coalesced-away bytes to t (the thread doing the
+// build).
+func (t *thread) buildPlan(slices []*slicestore.Slice) *mem.WritePlan {
+	plan := mem.BuildPlan(modLists(slices))
+	t.st.BytesCoalescedAway += plan.InputBytes - plan.UniqueBytes
+	return plan
+}
+
+// sameSlices reports whether two collected lists are element-wise identical
+// (slices are compared by pointer — they are immutable and interned in the
+// slice store). Used to share one write plan across blocked waiters whose
+// lowerlimit filters selected the same propagation set.
+func sameSlices(a, b []*slicestore.Slice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // applySlices applies propagated slices to t's memory. With lazy writes the
 // modifications are pended per page instead of written eagerly (§4.5);
 // prelock marks applications performed during the prelock pre-merge, whose
@@ -67,25 +119,57 @@ func (t *thread) collectLocked(from *thread, upper, lower vclock.VC) []*slicesto
 // exec.mu (which is what proves t stays blocked).
 //
 // Applied runs are deliberately invisible to the space's sub-page dirty
-// tracking (mem.ApplyRuns bypasses the store hooks): every apply path runs
-// between the target thread's slices — its snapshots are empty, or, with
-// lazy writes, the pended runs flush before the page's next snapshot — so
-// the snapshot baseline of the following slice already contains them. Were
-// they marked dirty, the next slice-end diff would merely scan bytes that
-// equal the snapshot; by staying unmarked they keep the extent set the exact
-// write-set of the slice (§4.3's "must not be monitored as local
-// modifications").
+// tracking (every apply path bypasses the store hooks): they run between the
+// target thread's slices — its snapshots are empty, or, with lazy writes,
+// the pended runs flush before the page's next snapshot — so the snapshot
+// baseline of the following slice already contains them. Were they marked
+// dirty, the next slice-end diff would merely scan bytes that equal the
+// snapshot; by staying unmarked they keep the extent set the exact write-set
+// of the slice (§4.3's "must not be monitored as local modifications").
 func (t *thread) applySlices(slices []*slicestore.Slice, prelock bool) {
+	t.applySlicesPlanned(slices, nil, prelock)
+}
+
+// applySlicesPlanned is applySlices with an optional pre-built coalesced
+// plan for exactly this slice list (plan sharing across blocked waiters).
+// With plan == nil one is built here when coalescing applies.
+//
+// Two invariants keep the plan path bit-identical to the sequential seed
+// path:
+//
+//   - memory: a last-writer-wins plan leaves every covered byte at the value
+//     of its last covering run in list order — exactly the state sequential
+//     list-order application converges to — and the intermediate states are
+//     unobservable (t is between slices, or provably blocked);
+//   - virtual time: the cost model still charges per-slice ApplyCost (or the
+//     per-slice lazy bookkeeping cost) for every propagated slice, as the
+//     paper's system would — the coalescing win is host wall time
+//     (Stats.ApplyNanos), deliberately invisible to the deterministic clock.
+func (t *thread) applySlicesPlanned(slices []*slicestore.Slice, plan *mem.WritePlan, prelock bool) {
 	if len(slices) == 0 {
 		return
 	}
 	start := time.Now()
+	coalesce := plan != nil ||
+		(!t.exec.opts.NoCoalesce && len(slices) >= planCoalesceMin)
+	ownPlan := coalesce && plan == nil
+	if ownPlan {
+		plan = t.buildPlan(slices)
+	}
 	for _, s := range slices {
-		if t.pending != nil {
-			t.pendSlice(s)
-		} else {
+		switch {
+		case t.pending == nil && coalesce:
+			// The write itself happens once, through the plan, below.
+			t.vt += vtime.ApplyCost(uint64(len(s.Mods)), s.Bytes)
+		case t.pending == nil:
 			t.space.ApplyRuns(s.Mods)
 			t.vt += vtime.ApplyCost(uint64(len(s.Mods)), s.Bytes)
+		case coalesce:
+			// The pend itself happens once, through the plan, below; charge
+			// the same per-slice bookkeeping cost pendSlice charges.
+			t.vt += vtime.Time(len(s.Mods)) * 4
+		default:
+			t.pendSlice(s)
 		}
 		t.st.SlicesPropagated++
 		t.st.BytesPropagated += s.Bytes
@@ -93,7 +177,52 @@ func (t *thread) applySlices(slices []*slicestore.Slice, prelock bool) {
 			t.st.PrelockBytes += s.Bytes
 		}
 	}
+	if coalesce {
+		if t.pending != nil {
+			t.pendPlan(plan)
+		} else {
+			t.applyPlanToSpace(plan)
+		}
+		if ownPlan {
+			plan.Release()
+		}
+	}
 	t.st.ApplyNanos += uint64(time.Since(start))
+}
+
+// applyPlanToSpace writes a plan into t's space, fanning the disjoint
+// per-page copies out to the bounded diff/apply worker pool when the plan is
+// large enough. The copy-on-write page resolution runs first, sequentially —
+// the page table belongs to the owning thread — after which each worker
+// touches only its own page's bytes, so the result is deterministic
+// regardless of scheduling ("reassembly" is the identity: plan runs are
+// mutually disjoint).
+func (t *thread) applyPlanToSpace(plan *mem.WritePlan) {
+	e := t.exec
+	if plan.UniqueBytes < minBytesForParallelApply || len(plan.Patches) < 2 || cap(e.diffSem) <= 1 {
+		t.space.ApplyPlan(plan)
+		return
+	}
+	targets := make([][]byte, len(plan.Patches))
+	for i, pp := range plan.Patches {
+		targets[i] = t.space.WritablePageData(pp.Page())
+	}
+	var wg sync.WaitGroup
+	for i := range plan.Patches {
+		select {
+		case e.diffSem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				mem.ApplyPatchData(targets[i], plan.Patches[i])
+				<-e.diffSem
+			}(i)
+		default:
+			// Pool saturated: copy inline rather than queueing.
+			mem.ApplyPatchData(targets[i], plan.Patches[i])
+		}
+	}
+	wg.Wait()
 }
 
 // acquireCollectLocked performs the monitor half of an acquire against
@@ -169,6 +298,12 @@ func (e *exec) prepareAcquireLocked(w *thread, sv *syncVar, handoffVT vtime.Time
 // either the calling thread (queueing on a held lock) or a provably blocked
 // waiter mutated under the monitor.
 func (w *thread) premergeLocked(slices []*slicestore.Slice) {
+	w.premergePlannedLocked(slices, nil)
+}
+
+// premergePlannedLocked is premergeLocked with an optional pre-built write
+// plan for exactly this slice list (the shared-plan release path below).
+func (w *thread) premergePlannedLocked(slices []*slicestore.Slice, plan *mem.WritePlan) {
 	if len(slices) == 0 {
 		return
 	}
@@ -178,7 +313,7 @@ func (w *thread) premergeLocked(slices []*slicestore.Slice) {
 	for _, s := range slices {
 		w.preMerged[s] = true
 	}
-	w.applySlices(slices, true)
+	w.applySlicesPlanned(slices, plan, true)
 	w.slicePtrs = append(w.slicePtrs, slices...)
 }
 
@@ -207,12 +342,45 @@ func (t *thread) prelockLocked(sv *syncVar) {
 // acquire, which is how the paper moves ~80% of propagation work off the
 // critical path (§4.5). The waiter is provably blocked, so its state may be
 // mutated under the monitor (as in the barrier merge).
+//
+// The write plan is computed once per release and shared across every
+// queued waiter whose lowerlimit filter collected the identical slice list —
+// the common case: waiters that have been queued since the previous release
+// have pre-merged everything except exactly the slices this release commits.
+// Sharing is sound because a plan's effect depends only on the list it was
+// built from, never on the target space: applying it to any waiter leaves
+// every covered byte at its list-order last writer, exactly as that waiter's
+// own sequential application of the same list would. Waiters that collected
+// a *different* list (they queued mid-stream and have seen a different
+// prefix) get their own plan — per-waiter application order is part of the
+// deterministic race-resolution policy and must not be perturbed. This turns
+// the release from O(waiters × slices × bytes) under the monitor into one
+// O(slices × bytes) build plus O(unique bytes) per waiter.
 func (e *exec) prelockReleaseLocked(sv *syncVar, releaser *thread) {
 	if !e.opts.Prelock {
 		return
 	}
+	var planList []*slicestore.Slice
+	var plan *mem.WritePlan
 	for _, wid := range sv.lockQ {
 		w := e.threads[wid]
-		w.premergeLocked(w.collectLocked(releaser, sv.lastTime, w.vtime))
+		slices := w.collectLocked(releaser, sv.lastTime, w.vtime)
+		if e.opts.NoCoalesce || len(slices) < planCoalesceMin {
+			w.premergeLocked(slices)
+			continue
+		}
+		if sameSlices(slices, planList) {
+			w.st.PlanReuse++
+		} else {
+			if plan != nil {
+				plan.Release()
+			}
+			planList = slices
+			plan = w.buildPlan(slices)
+		}
+		w.premergePlannedLocked(slices, plan)
+	}
+	if plan != nil {
+		plan.Release()
 	}
 }

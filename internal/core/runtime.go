@@ -93,6 +93,18 @@ type Options struct {
 	// option exists for the equivalence tests and the before/after
 	// benchmarks (BenchmarkSparseWriteDiff).
 	FullPageDiff bool
+	// NoCoalesce disables coalesced write-plan propagation: every propagated
+	// slice is applied (or lazily pended) run-by-run in list order, exactly
+	// as the seed runtime did. The default plan path collapses the ordered
+	// slice list into one last-writer-wins plan per page, writes each unique
+	// destination byte once, and shares the plan across blocked waiters that
+	// collected the identical list — while the virtual-time model still
+	// charges per-slice ApplyCost, so outputs, virtual times and traces are
+	// bit-identical either way (the final value of every byte is its last
+	// writer in list order under both schemes). This option exists for the
+	// equivalence tests and the before/after benchmarks
+	// (BenchmarkBarrierPropagation, BenchmarkLockChainPropagation).
+	NoCoalesce bool
 	// Validate enables the post-execution DLRC invariant checker (tests).
 	Validate bool
 	// Trace records every synchronization operation in deterministic

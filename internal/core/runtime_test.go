@@ -157,6 +157,67 @@ func TestPrelockMovesPropagationOffCriticalPath(t *testing.T) {
 	}
 }
 
+// TestPrelockPlanSharing verifies the coalesced-propagation release path:
+// on a heavily contended lock whose releases each commit several slices
+// (the atomic op splits every critical section into multiple slices), the
+// queued waiters collect identical slice lists, so the release builds one
+// write plan and the remaining waiters reuse it instead of re-applying
+// run by run. Six workers keep the grant queue deep enough that at least
+// two waiters are in lockstep at each release: a waiter that queued
+// mid-critical-section has pre-merged the holder's in-progress slices and
+// legitimately collects a shorter list, so reuse needs two waiters whose
+// last sync was the same earlier release.
+func TestPrelockPlanSharing(t *testing.T) {
+	prog := func(th api.Thread) {
+		buf := th.Malloc(32 * 1024)
+		atom := th.Malloc(8)
+		mu := api.Addr(64)
+		var ids []api.ThreadID
+		for w := 0; w < 6; w++ {
+			ids = append(ids, th.Spawn(func(c api.Thread) {
+				for round := 0; round < 8; round++ {
+					c.Lock(mu)
+					// The atomic commits the current slice and publishes a
+					// micro-slice, so the eventual unlock releases >= 2
+					// fresh slices — enough to build a plan for.
+					c.AtomicAdd64(atom, 1)
+					for i := 0; i < 512; i++ {
+						c.Store64(buf+api.Addr(8*i), c.Load64(buf+api.Addr(8*i))+1)
+					}
+					c.Unlock(mu)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+		th.Observe(th.Load64(buf), th.Load64(atom))
+	}
+	rep := run(t, Options{Prelock: true}, prog)
+	if rep.Observations[0][0] != 48 || rep.Observations[0][1] != 48 {
+		t.Fatalf("observations = %v, want [48 48]", rep.Observations[0])
+	}
+	if rep.Stats.PlanReuse == 0 {
+		t.Fatal("no waiter ever reused a release's write plan on a contended chain")
+	}
+	if rep.Stats.BytesCoalescedAway == 0 {
+		t.Fatal("overlapping propagated writes were never coalesced")
+	}
+	if rep.Stats.CollectScanned == 0 || rep.Stats.SliceListLen == 0 {
+		t.Fatal("collection counters never moved")
+	}
+
+	// Same program with coalescing off: identical result, no plan activity.
+	base := run(t, Options{Prelock: true, NoCoalesce: true}, prog)
+	if base.Observations[0][0] != 48 || base.Observations[0][1] != 48 {
+		t.Fatalf("NoCoalesce observations = %v, want [48 48]", base.Observations[0])
+	}
+	if base.Stats.PlanReuse != 0 || base.Stats.BytesCoalescedAway != 0 {
+		t.Fatalf("NoCoalesce still planned: reuse=%d away=%d",
+			base.Stats.PlanReuse, base.Stats.BytesCoalescedAway)
+	}
+}
+
 // TestLazyWritesDeferApplication verifies §4.5 lazy writes: propagated
 // modifications to never-accessed pages are pended, and pended runs
 // coalesce.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"rfdet/internal/api"
 	"rfdet/internal/kendo"
@@ -312,19 +313,38 @@ func (t *thread) Barrier(b api.Addr, n int) {
 	}
 	// Merge in ascending thread-ID order: the thread with the smallest ID
 	// merges first, so later (higher-ID) arrivals deterministically win
-	// write-write races (§4.1).
+	// write-write races (§4.1). Collection only reads clocks and slice
+	// pointers — never memory contents — so the applies can be deferred
+	// until every arrival has been collected and then performed as one
+	// coalesced last-writer-wins pass over the concatenated list. The
+	// virtual-time charge stays per-slice, exactly as if each slice had
+	// been applied in turn.
 	var mergeCost vtime.Time
+	var propagated []*slicestore.Slice
 	for _, a := range arrivals[1:] {
 		from := e.threads[a.tid]
 		slices := leader.collectLocked(from, a.v, leader.vtime)
 		for _, sl := range slices {
-			leader.space.ApplyRuns(sl.Mods)
 			mergeCost += vtime.ApplyCost(uint64(len(sl.Mods)), sl.Bytes)
 			leader.st.SlicesPropagated++
 			leader.st.BytesPropagated += sl.Bytes
 		}
+		propagated = append(propagated, slices...)
 		leader.slicePtrs = append(leader.slicePtrs, slices...)
 		leader.vtime = leader.vtime.Join(a.v)
+	}
+	if len(propagated) > 0 {
+		start := time.Now()
+		if e.opts.NoCoalesce || len(propagated) < planCoalesceMin {
+			for _, sl := range propagated {
+				leader.space.ApplyRuns(sl.Mods)
+			}
+		} else {
+			plan := leader.buildPlan(propagated)
+			leader.applyPlanToSpace(plan)
+			plan.Release()
+		}
+		leader.st.ApplyNanos += uint64(time.Since(start))
 	}
 	releaseVT += vtime.FencePhase + mergeCost
 	leader.vt = vtime.Max(leader.vt, releaseVT)
@@ -343,7 +363,10 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		w.slicePtrs = append(w.slicePtrs[:0], leader.slicePtrs...)
 		w.vtime = w.vtime.Join(merged)
 		w.preMerged = nil
-		for pid := range w.pending {
+		for pid, pe := range w.pending {
+			if pe.patch != nil {
+				pe.patch.Release()
+			}
 			delete(w.pending, pid)
 		}
 	}
@@ -392,7 +415,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	child.enableDirtyTracking()
 	child.slicePtrs = append(child.slicePtrs, t.slicePtrs...)
 	if e.opts.LazyWrites {
-		child.pending = make(map[mem.PageID][]mem.Run)
+		child.pending = make(map[mem.PageID]*pendEntry)
 	}
 	if e.opts.NoCommHint != nil && e.opts.NoCommHint(int32(id)) {
 		child.noComm = true
@@ -410,7 +433,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		t.monitoring = true
 		t.enableDirtyTracking()
 		if e.opts.LazyWrites && t.pending == nil {
-			t.pending = make(map[mem.PageID][]mem.Run)
+			t.pending = make(map[mem.PageID]*pendEntry)
 		}
 	}
 	e.wg.Add(1)

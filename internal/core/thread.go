@@ -48,9 +48,12 @@ type thread struct {
 	snapshots map[mem.PageID][]byte
 	snapOrder []mem.PageID
 
-	// Lazy-writes state (§4.5): pending modification runs per page, applied
-	// on first access. Non-nil iff the optimization is enabled.
-	pending map[mem.PageID][]mem.Run
+	// Lazy-writes state (§4.5): pending modifications per page, applied on
+	// first access. Non-nil iff the optimization is enabled. Each entry is a
+	// coalescing PagePatch — so a hot page absorbs any number of propagated
+	// updates and flushes in one pass — or, under Options.NoCoalesce, the
+	// seed's raw run list.
+	pending map[mem.PageID]*pendEntry
 
 	// preMerged records slices applied by a prelock pre-merge (§4.5) so the
 	// eventual acquire skips them. Nil when no pre-merge is outstanding.
@@ -131,6 +134,28 @@ func (t *thread) recordStore(a, n uint64) {
 			break
 		}
 	}
+}
+
+// pendEntry is one page's lazily pended remote modifications: a coalescing
+// last-writer-wins patch by default, or the seed's raw run list under
+// Options.NoCoalesce. Exactly one of the two fields is in use per exec.
+type pendEntry struct {
+	patch *mem.PagePatch
+	raw   []mem.Run
+}
+
+// pendEntryFor returns (creating if needed) the pending entry for page pid,
+// in the representation the execution's options select.
+func (t *thread) pendEntryFor(pid mem.PageID) *pendEntry {
+	pe := t.pending[pid]
+	if pe == nil {
+		pe = &pendEntry{}
+		if !t.exec.opts.NoCoalesce {
+			pe.patch = mem.NewPagePatch(pid)
+		}
+		t.pending[pid] = pe
+	}
+	return pe
 }
 
 // takeSnapshot copies the page into the metadata space (Figure 4, lines
@@ -400,6 +425,8 @@ func (t *thread) finishSlice() *slicestore.Slice {
 	for _, pid := range t.snapOrder {
 		t.exec.store.FreeSnapshot()
 		t.vt += vtime.DiffPage
+		// The diff has consumed the snapshot; recycle its pooled buffer.
+		mem.PutPageBuf(t.snapshots[pid])
 		delete(t.snapshots, pid)
 	}
 	t.snapOrder = t.snapOrder[:0]
@@ -466,26 +493,64 @@ func (t *thread) endSliceDropLock() vclock.VC {
 //
 
 // pendSlice records a propagated slice's modifications as per-page pending
-// runs instead of applying them eagerly, and revokes access to the affected
-// pages so the first access applies them.
+// state instead of applying them eagerly, and revokes access to the affected
+// pages so the first access applies them. By default the runs land in the
+// page's coalescing patch (later pends overwrite earlier ones immediately,
+// so the eventual flush is one pass over unique bytes); under
+// Options.NoCoalesce they are appended raw, as the seed did.
 func (t *thread) pendSlice(s *slicestore.Slice) {
 	byPage := mem.SplitRunsByPage(s.Mods)
 	for pid, runs := range byPage {
-		t.pending[pid] = append(t.pending[pid], runs...)
+		pe := t.pendEntryFor(pid)
+		if pe.patch != nil {
+			for _, r := range runs {
+				pe.patch.AddRun(r)
+			}
+		} else {
+			pe.raw = append(pe.raw, runs...)
+		}
 		t.space.Protect(pid, mem.ProtNone)
 	}
 	// Bookkeeping cost only: the writes themselves are deferred.
 	t.vt += vtime.Time(len(s.Mods)) * 4
 }
 
+// pendPlan pends a coalesced write plan: each page patch's runs are absorbed
+// into the page's pending patch (the runs of one plan are disjoint, and
+// plans of successive propagations arrive in acquire order, so patch state
+// stays the last-writer-wins image of everything pended). AddRun copies, so
+// the plan's staging buffers may be released as soon as pendPlan returns.
+// The per-slice bookkeeping virtual time is charged by the caller
+// (applySlicesPlanned), exactly as pendSlice would charge it.
+func (t *thread) pendPlan(plan *mem.WritePlan) {
+	for _, pp := range plan.Patches {
+		pe := t.pendEntryFor(pp.Page())
+		pp.ForEachRun(func(r mem.Run) { pe.patch.AddRun(r) })
+		t.space.Protect(pp.Page(), mem.ProtNone)
+	}
+}
+
 // flushPage applies the pended modifications for one page, in propagation
 // order, and restores access. The virtual-time cost counts each byte once
 // even if multiple propagations pended overlapping updates — the
-// "just one update" saving of §4.5.
+// "just one update" saving of §4.5. With the coalescing patch the host-time
+// cost matches the model: the distinct-byte set is already materialized and
+// the apply is a single pass; the raw (NoCoalesce) path recounts it the
+// seed's way.
 func (t *thread) flushPage(pid mem.PageID) {
-	runs := t.pending[pid]
+	pe := t.pending[pid]
 	delete(t.pending, pid)
 	t.space.Protect(pid, mem.ProtRW)
+	if pe.patch != nil {
+		distinct := pe.patch.UniqueBytes()
+		t.space.ApplyPatch(pe.patch)
+		t.st.LazyPendingApplied += pe.patch.RawRuns()
+		t.st.LazyRunsElided += pe.patch.RawBytes() - distinct
+		t.vt += vtime.ApplyCost(1, distinct)
+		pe.patch.Release()
+		return
+	}
+	runs := pe.raw
 	var touched [mem.PageSize]bool
 	distinct := uint64(0)
 	for _, r := range runs {

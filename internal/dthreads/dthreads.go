@@ -284,12 +284,15 @@ func (t *thread) onFault(pid mem.PageID, write bool) {
 	t.space.Protect(pid, mem.ProtRW)
 }
 
-// computeDiff diffs the phase's dirty pages against their twins.
+// computeDiff diffs the phase's dirty pages against their twins. The twin
+// buffers go back to the page-buffer pool once the diff has consumed them.
 func (t *thread) computeDiff() []mem.Run {
 	var runs []mem.Run
 	for _, pid := range t.snapOrder {
-		runs = append(runs, mem.DiffPage(pid, t.snapshots[pid], t.space.PageData(pid))...)
+		snap := t.snapshots[pid]
+		runs = append(runs, mem.DiffPage(pid, snap, t.space.PageData(pid))...)
 		t.vt += vtime.DiffPage
+		mem.PutPageBuf(snap)
 		delete(t.snapshots, pid)
 	}
 	t.snapOrder = t.snapOrder[:0]

@@ -153,6 +153,41 @@ func Table1(out io.Writer, size workloads.Size, threads int) error {
 	return nil
 }
 
+// PropagationTable renders the coalesced write-plan propagation profile of
+// every workload under RFDet-ci (all optimizations): slice pointers scanned
+// by acquire-side collections, the high-water collected-list length, the
+// propagated and coalesced-away byte volumes, plan reuses by blocked
+// waiters, and the wall time spent in slice application. This is the
+// observability companion to BenchmarkBarrierPropagation /
+// BenchmarkLockChainPropagation (EXPERIMENTS.md).
+func PropagationTable(out io.Writer, size workloads.Size, threads int) error {
+	cfg := workloads.Config{Threads: threads, Size: size}
+	fmt.Fprintf(out, "Write-plan propagation profile (%d threads, size %s, RFDet-ci)\n\n", threads, size)
+	fmt.Fprintf(out, "%-18s %10s %8s | %12s %12s %7s | %9s %9s\n",
+		"benchmark", "scanned", "maxlist",
+		"prop(B)", "away(B)", "away%",
+		"planreuse", "apply-us")
+	for _, w := range workloads.All() {
+		r, err := Run(NewRFDetCI(), w, cfg, 1)
+		if err != nil {
+			return err
+		}
+		s := r.Report.Stats
+		awayPct := 0.0
+		if s.BytesPropagated > 0 {
+			awayPct = 100 * float64(s.BytesCoalescedAway) / float64(s.BytesPropagated)
+		}
+		fmt.Fprintf(out, "%-18s %10d %8d | %12d %12d %6.1f%% | %9d %9d\n",
+			w.Name,
+			s.CollectScanned, s.SliceListLen,
+			s.BytesPropagated, s.BytesCoalescedAway, awayPct,
+			s.PlanReuse, s.ApplyNanos/1000)
+	}
+	fmt.Fprintln(out, "\n\"away\" bytes were written by some propagated slice but overwritten inside the")
+	fmt.Fprintln(out, "same collected list: the last-writer-wins plan never writes them at all.")
+	return nil
+}
+
 // Figure8 regenerates Figure 8: scalability of RFDet-ci vs pthreads — the
 // speedup of 4- and 8-thread executions relative to 2 threads, by virtual
 // time. As in the paper, dedup and ferret are omitted and lu-con represents
@@ -311,6 +346,7 @@ func AllExperiments(out io.Writer, size workloads.Size, threads, repeats, raceyR
 		func() error { return LitmusTable(out, raceyRuns) },
 		func() error { return Figure7(out, size, threads, repeats) },
 		func() error { return Table1(out, size, threads) },
+		func() error { return PropagationTable(out, size, threads) },
 		func() error { return Figure8(out, size, repeats) },
 		func() error { return Figure9(out, size, threads, repeats) },
 	}

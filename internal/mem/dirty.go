@@ -26,6 +26,8 @@ package mem
 // snapshot of the affected page exists, so the snapshot baseline already
 // contains them (§4.3's "must not be monitored as local modifications").
 
+import "sort"
+
 // Extent is a dirty byte range [Off, Off+Len) within one page.
 type Extent struct {
 	Off uint32
@@ -76,37 +78,48 @@ func (d *dirtyPage) mark(off, n uint32) {
 		d.bitmap |= chunkMask(off, n)
 		return
 	}
-	end := off + n
-	// Find the range of existing extents that overlap or touch [off, end):
-	// touching intervals merge too, keeping the list gap-separated, which is
-	// what lets DiffPageExtents treat extent boundaries as run boundaries.
-	i := 0
-	for i < len(d.extents) && d.extents[i].End() < off {
-		i++
+	d.extents = insertExtent(d.extents, off, n)
+	if len(d.extents) > maxExtentsPerPage {
+		d.toBitmap()
 	}
+}
+
+// insertExtent merges [off, off+n) into a sorted, coalesced extent list and
+// returns the updated list. Touching intervals merge too, keeping the list
+// gap-separated — which is what lets DiffPageExtents treat extent boundaries
+// as run boundaries, and what makes a write plan's extents exactly the
+// maximal runs of written bytes (plan.go). n must be non-zero.
+func insertExtent(exts []Extent, off, n uint32) []Extent {
+	end := off + n
+	// Fast path: strictly past the last extent. Diff runs and sequential
+	// writes arrive in ascending address order, so fragmented pages (which
+	// would otherwise pay a per-insert scan of the whole list) append here
+	// in O(1).
+	if len(exts) == 0 || off > exts[len(exts)-1].End() {
+		return append(exts, Extent{Off: off, Len: n})
+	}
+	// Binary-search the first extent that overlaps or touches [off, end).
+	i := sort.Search(len(exts), func(k int) bool { return exts[k].End() >= off })
 	j := i
-	for j < len(d.extents) && d.extents[j].Off <= end {
+	for j < len(exts) && exts[j].Off <= end {
 		j++
 	}
 	if i == j {
 		// No overlap: plain insertion at i.
-		d.extents = append(d.extents, Extent{})
-		copy(d.extents[i+1:], d.extents[i:])
-		d.extents[i] = Extent{Off: off, Len: n}
-	} else {
-		// Merge [i, j) with the new range.
-		if d.extents[i].Off < off {
-			off = d.extents[i].Off
-		}
-		if e := d.extents[j-1].End(); e > end {
-			end = e
-		}
-		d.extents[i] = Extent{Off: off, Len: end - off}
-		d.extents = append(d.extents[:i+1], d.extents[j:]...)
+		exts = append(exts, Extent{})
+		copy(exts[i+1:], exts[i:])
+		exts[i] = Extent{Off: off, Len: n}
+		return exts
 	}
-	if len(d.extents) > maxExtentsPerPage {
-		d.toBitmap()
+	// Merge [i, j) with the new range.
+	if exts[i].Off < off {
+		off = exts[i].Off
 	}
+	if e := exts[j-1].End(); e > end {
+		end = e
+	}
+	exts[i] = Extent{Off: off, Len: end - off}
+	return append(exts[:i+1], exts[j:]...)
 }
 
 // toBitmap converts the interval list into the chunk bitmap.

@@ -363,9 +363,12 @@ func (s *Space) WriteBytes(a uint64, data []byte) {
 }
 
 // Snapshot returns a copy of page id's current contents, the page snapshot
-// taken on first write in a slice (Figure 4 of the paper).
+// taken on first write in a slice (Figure 4 of the paper). The buffer comes
+// from the page-buffer pool; callers that control the snapshot's lifetime
+// should hand it back with PutPageBuf once the slice-end diff has consumed
+// it (a never-returned buffer is merely garbage-collected).
 func (s *Space) Snapshot(id PageID) []byte {
-	snap := make([]byte, PageSize)
+	snap := GetPageBuf()
 	copy(snap, s.readPage(id).Data[:])
 	return snap
 }

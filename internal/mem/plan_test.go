@@ -1,0 +1,260 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomMods builds an ordered modification-list sequence with heavy overlap:
+// random addresses within a few pages, random lengths, runs that straddle
+// page boundaries, and deliberately duplicated addresses so last-writer-wins
+// actually matters.
+func randomMods(r *rand.Rand, lists, maxRuns int) [][]Run {
+	mods := make([][]Run, lists)
+	val := byte(1)
+	for i := range mods {
+		n := r.Intn(maxRuns + 1)
+		runs := make([]Run, 0, n)
+		for j := 0; j < n; j++ {
+			addr := uint64(r.Intn(4 * PageSize))
+			length := 1 + r.Intn(300) // up to ~7% of a page, often straddling
+			data := make([]byte, length)
+			for k := range data {
+				data[k] = val
+				val++
+				if val == 0 {
+					val = 1
+				}
+			}
+			runs = append(runs, Run{Addr: addr, Data: data})
+		}
+		mods[i] = runs
+	}
+	return mods
+}
+
+// TestPlanEquivalentToSequentialApply is the core soundness property: for any
+// ordered modification-list sequence, building a plan and applying it once
+// leaves memory byte-identical to applying every list in order with
+// ApplyRuns. This is what licenses substituting the plan on the acquire path.
+func TestPlanEquivalentToSequentialApply(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mods := randomMods(r, 1+r.Intn(8), 12)
+
+		seq := NewSpace()
+		for _, runs := range mods {
+			seq.ApplyRuns(runs)
+		}
+
+		planned := NewSpace()
+		plan := BuildPlan(mods)
+		planned.ApplyPlan(plan)
+		plan.Release()
+
+		ok := seq.Hash() == planned.Hash()
+		seq.Release()
+		planned.Release()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanSharedAcrossSpaces checks immutability under application: the same
+// plan applied to several spaces (plan sharing across blocked waiters) gives
+// every space the identical final image, and a re-application is idempotent.
+func TestPlanSharedAcrossSpaces(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	mods := randomMods(r, 6, 10)
+	plan := BuildPlan(mods)
+	defer plan.Release()
+
+	var hashes []uint64
+	for i := 0; i < 4; i++ {
+		s := NewSpace()
+		s.ApplyPlan(plan)
+		if i == 0 {
+			s.ApplyPlan(plan) // idempotent
+		}
+		hashes = append(hashes, s.Hash())
+		s.Release()
+	}
+	for _, h := range hashes[1:] {
+		if h != hashes[0] {
+			t.Fatalf("shared plan produced diverging images: %#x vs %#x", hashes[0], h)
+		}
+	}
+}
+
+// TestPlanInvariants checks the structural guarantees the apply paths rely
+// on: pages ascend, each page's runs are address-sorted, gap-separated and
+// within the page, and the byte accounting is consistent.
+func TestPlanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mods := randomMods(r, 1+r.Intn(6), 10)
+		plan := BuildPlan(mods)
+
+		var wantInRuns, wantInBytes uint64
+		for _, runs := range mods {
+			for _, run := range runs {
+				wantInRuns++
+				wantInBytes += uint64(len(run.Data))
+			}
+		}
+		if plan.InputRuns != wantInRuns || plan.InputBytes != wantInBytes {
+			t.Errorf("seed %d: input accounting %d/%d, want %d/%d",
+				seed, plan.InputRuns, plan.InputBytes, wantInRuns, wantInBytes)
+			return false
+		}
+		var unique uint64
+		for i, pp := range plan.Patches {
+			if i > 0 && plan.Patches[i-1].Page() >= pp.Page() {
+				t.Errorf("seed %d: pages not ascending at %d", seed, i)
+				return false
+			}
+			base := PageAddr(pp.Page())
+			// Runs() and ForEachRun must agree; both must be address-sorted,
+			// in-page and gap-separated (coalescing guarantees a strict gap,
+			// not mere disjointness).
+			runs := pp.Runs()
+			var viaIter []Run
+			pp.ForEachRun(func(r Run) { viaIter = append(viaIter, r) })
+			if len(viaIter) != len(runs) {
+				t.Errorf("seed %d: ForEachRun yields %d runs, Runs %d", seed, len(viaIter), len(runs))
+				return false
+			}
+			for j, run := range runs {
+				if len(run.Data) == 0 {
+					t.Errorf("seed %d: empty run", seed)
+					return false
+				}
+				if run.Addr < base || run.End() > base+PageSize {
+					t.Errorf("seed %d: run escapes page", seed)
+					return false
+				}
+				if j > 0 && runs[j-1].End() >= run.Addr {
+					t.Errorf("seed %d: runs not gap-separated", seed)
+					return false
+				}
+				it := viaIter[j]
+				if it.Addr != run.Addr || string(it.Data) != string(run.Data) {
+					t.Errorf("seed %d: ForEachRun run %d disagrees with Runs", seed, j)
+					return false
+				}
+				unique += uint64(len(run.Data))
+			}
+		}
+		plan.Release()
+		if plan.UniqueBytes != unique {
+			t.Errorf("seed %d: UniqueBytes %d, runs carry %d", seed, plan.UniqueBytes, unique)
+			return false
+		}
+		if plan.UniqueBytes > plan.InputBytes {
+			t.Errorf("seed %d: unique %d > input %d", seed, plan.UniqueBytes, plan.InputBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPagePatchLastWriterWins checks byte-level LWW and that — unlike the
+// dirty tracker — a patch stays precise past maxExtentsPerPage fragments.
+func TestPagePatchLastWriterWins(t *testing.T) {
+	p := NewPagePatch(3)
+	defer p.Release()
+	base := PageAddr(3)
+
+	// 2*maxExtentsPerPage disjoint single-byte writes at even offsets: a
+	// dirtyPage would have degraded to 64-byte chunks long ago.
+	for i := 0; i < 2*maxExtentsPerPage; i++ {
+		p.AddRun(Run{Addr: base + uint64(4*i), Data: []byte{byte(i + 1)}})
+	}
+	// Overwrite the first byte: later writers win.
+	p.AddRun(Run{Addr: base, Data: []byte{0xAA}})
+
+	if got := p.UniqueBytes(); got != uint64(2*maxExtentsPerPage) {
+		t.Fatalf("UniqueBytes = %d, want %d (degraded to superset?)", got, 2*maxExtentsPerPage)
+	}
+	if p.RawRuns() != uint64(2*maxExtentsPerPage)+1 || p.RawBytes() != uint64(2*maxExtentsPerPage)+1 {
+		t.Fatalf("raw accounting = %d runs / %d bytes", p.RawRuns(), p.RawBytes())
+	}
+	runs := p.Runs()
+	if len(runs) != 2*maxExtentsPerPage {
+		t.Fatalf("materialized %d runs, want %d precise single-byte runs", len(runs), 2*maxExtentsPerPage)
+	}
+	if runs[0].Addr != base || runs[0].Data[0] != 0xAA {
+		t.Fatalf("first byte = %#x at %#x, want last writer 0xAA at base", runs[0].Data[0], runs[0].Addr)
+	}
+
+	s := NewSpace()
+	defer s.Release()
+	s.ApplyPatch(p)
+	if got := s.Load8(base); got != 0xAA {
+		t.Fatalf("ApplyPatch: byte 0 = %#x, want 0xAA", got)
+	}
+	if got := s.Load8(base + 4); got != 2 {
+		t.Fatalf("ApplyPatch: byte 4 = %#x, want 2", got)
+	}
+	if got := s.Load8(base + 1); got != 0 {
+		t.Fatalf("ApplyPatch: untouched byte 1 = %#x, want 0", got)
+	}
+}
+
+// TestSnapshotPooling asserts the snapshot buffers actually recycle: a
+// snapshot/release round trip through the pool must not allocate a fresh
+// page buffer each time.
+func TestSnapshotPooling(t *testing.T) {
+	s := NewSpace()
+	defer s.Release()
+	s.Store8(123, 7) // materialize page 0
+	// Warm the pool.
+	PutPageBuf(s.Snapshot(0))
+	allocs := testing.AllocsPerRun(100, func() {
+		PutPageBuf(s.Snapshot(0))
+	})
+	if allocs >= 1 {
+		t.Fatalf("snapshot round trip allocates %.1f objects/op; pooling broken", allocs)
+	}
+}
+
+// BenchmarkSnapshotPool measures the pooled snapshot round trip; run with
+// -benchmem to see the zero-allocation steady state.
+func BenchmarkSnapshotPool(b *testing.B) {
+	s := NewSpace()
+	defer s.Release()
+	s.Store8(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PutPageBuf(s.Snapshot(0))
+	}
+}
+
+// BenchmarkBuildPlan measures plan construction over an overlapping run list
+// (8 writers × full coverage of 2 pages in 256-byte strips).
+func BenchmarkBuildPlan(b *testing.B) {
+	var mods [][]Run
+	for w := 0; w < 8; w++ {
+		var runs []Run
+		for off := uint64(0); off < 2*PageSize; off += 256 {
+			data := make([]byte, 256)
+			for k := range data {
+				data[k] = byte(w + k)
+			}
+			runs = append(runs, Run{Addr: off, Data: data})
+		}
+		mods = append(mods, runs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPlan(mods).Release()
+	}
+}

@@ -79,14 +79,22 @@ func NewStore(capacity uint64, thresholdPct int) *Store {
 		thresholdPct = DefaultGCThresholdPct
 	}
 	return &Store{
-		slices:      make(map[uint64]*Slice),
-		capacity:    capacity,
-		gcThreshold: capacity / 100 * uint64(thresholdPct),
+		slices:   make(map[uint64]*Slice),
+		capacity: capacity,
+		// Multiply before dividing: capacity/100*pct truncates the quotient
+		// first, which for capacities that are not multiples of 100 rounds
+		// the threshold down by up to 99*pct bytes — and to zero for
+		// capacities under 100, making every commit trigger a GC pass.
+		gcThreshold: capacity * uint64(thresholdPct) / 100,
 	}
 }
 
 // Capacity returns the configured metadata-space size.
 func (st *Store) Capacity() uint64 { return st.capacity }
+
+// GCThreshold returns the usage level (bytes) at which Commit requests a
+// garbage-collection pass.
+func (st *Store) GCThreshold() uint64 { return st.gcThreshold }
 
 // AllocSnapshot charges one page snapshot to the metadata space (taken on
 // the first write to a page within a slice, Figure 4).

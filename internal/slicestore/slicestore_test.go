@@ -162,7 +162,42 @@ func TestDefaults(t *testing.T) {
 		t.Fatalf("default capacity = %d", st.Capacity())
 	}
 	st2 := NewStore(1000, 300) // out-of-range threshold falls back to 90
-	if st2.gcThreshold != 1000/100*90 {
-		t.Fatalf("threshold = %d", st2.gcThreshold)
+	if st2.GCThreshold() != 900 {
+		t.Fatalf("threshold = %d", st2.GCThreshold())
+	}
+}
+
+// TestGCThresholdRounding is the regression test for the capacity/100*pct
+// truncation bug: dividing before multiplying floored the quotient first, so
+// a 150-byte store at 90% got threshold 1*90 = 90 instead of 135, and any
+// capacity under 100 got threshold 0 — every commit triggered a GC pass.
+func TestGCThresholdRounding(t *testing.T) {
+	cases := []struct {
+		capacity uint64
+		pct      int
+		want     uint64
+	}{
+		{150, 90, 135},  // old code: 150/100*90 = 90
+		{50, 90, 45},    // old code: 50/100*90 = 0 → GC on every commit
+		{199, 50, 99},   // old code: 199/100*50 = 50
+		{1000, 90, 900}, // multiple of 100: unchanged
+		{DefaultCapacity, DefaultGCThresholdPct, DefaultCapacity * 90 / 100},
+	}
+	for _, c := range cases {
+		st := NewStore(c.capacity, c.pct)
+		if got := st.GCThreshold(); got != c.want {
+			t.Errorf("NewStore(%d, %d): threshold = %d, want %d", c.capacity, c.pct, got, c.want)
+		}
+	}
+	// Behavioral consequence: a 108-cost commit into a 150-byte store sits
+	// between the old (90) and fixed (135) thresholds, so it must NOT
+	// demand a GC pass anymore.
+	st := NewStore(150, 90)
+	s := mkSlice(0, vclock.VC{1}, 20)
+	if c := s.Cost(); c <= 90 || c >= 135 {
+		t.Fatalf("test slice cost %d out of discriminating range (90, 135)", c)
+	}
+	if st.Commit(s) {
+		t.Fatal("commit below the fixed threshold must not trigger GC")
 	}
 }

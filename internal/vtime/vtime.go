@@ -80,7 +80,10 @@ func Max(a, b Time) Time {
 }
 
 // ApplyCost returns the modeled cost of applying nRuns modification runs
-// totalling nBytes.
+// totalling nBytes. The model charges every propagated slice individually,
+// as the paper's system would apply it — host-side shortcuts (coalesced
+// write plans, extent-guided diffing) must keep charging this per-slice
+// cost so virtual times stay independent of which fast path ran.
 func ApplyCost(nRuns, nBytes uint64) Time {
 	return Time(nRuns)*ApplyRun + Time(nBytes)/ApplyBytesPerNS
 }

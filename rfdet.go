@@ -41,6 +41,16 @@
 //
 // rep.OutputHash is identical on every run: the runtime guarantees that the
 // program's observations and final memory are a pure function of its input.
+//
+// # Determinism vs host performance
+//
+// The deterministic results (outputs, virtual times, trace hashes) are
+// independent of host-side execution strategy. Internal fast paths —
+// off-monitor diffing and application, sub-page dirty extents, coalesced
+// last-writer-wins write plans shared across blocked waiters — change only
+// wall-clock time; each has an Options escape hatch (FullPageDiff,
+// NoCoalesce, ...) that forces the naive path, and equivalence is pinned by
+// the fuzz and seed-regression walls.
 package rfdet
 
 import (

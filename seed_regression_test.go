@@ -163,3 +163,35 @@ func TestSeedRegressionFullPageDiffMatches(t *testing.T) {
 		t.Fatalf("FullPageDiff skipped %d bytes", r.Stats.DiffBytesSkipped)
 	}
 }
+
+// TestSeedRegressionNoCoalesceMatches is the same loop-closer for coalesced
+// write-plan propagation: NoCoalesce reproduces the seed's one-run-at-a-time
+// application verbatim, and it must hit the exact same goldens as the
+// coalescing default — demonstrating that plan application is observationally
+// equivalent, not merely deterministic on its own.
+func TestSeedRegressionNoCoalesceMatches(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	opts.NoCoalesce = true
+	rt := core.New(opts)
+	w, err := workloads.ByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OutputHash != goldenWordcountOutput || r.VirtualTime != goldenWordcountVTime {
+		t.Fatalf("NoCoalesce: output=%#x vtime=%d, seed output=%#x vtime=%d",
+			r.OutputHash, r.VirtualTime, goldenWordcountOutput, goldenWordcountVTime)
+	}
+	if th := fnvString(tr.String()); th != goldenWordcountTrace {
+		t.Fatalf("NoCoalesce: trace hash %#x, seed %#x", th, goldenWordcountTrace)
+	}
+	// With coalescing off no plan is ever built or shared.
+	if r.Stats.BytesCoalescedAway != 0 || r.Stats.PlanReuse != 0 {
+		t.Fatalf("NoCoalesce still coalesced: %d bytes away, %d plan reuses",
+			r.Stats.BytesCoalescedAway, r.Stats.PlanReuse)
+	}
+}
