@@ -1,0 +1,72 @@
+package rfdet_test
+
+import (
+	"strings"
+	"testing"
+
+	"rfdet"
+)
+
+// Double-free litmus: an allocator failure must surface as an error from Run
+// on every runtime — the recoverable-abort path — never as an unrecovered
+// panic that kills the host process, and never as a hang of the failing
+// thread's peers.
+func TestDoubleFreeAbortsRecoverably(t *testing.T) {
+	runtimes := []rfdet.Runtime{
+		rfdet.NewCI(),
+		rfdet.NewPF(),
+		rfdet.NewDThreads(),
+		rfdet.NewCoreDet(1000),
+		rfdet.NewPThreads(),
+	}
+	for _, rt := range runtimes {
+		rt := rt
+		t.Run(rt.Name(), func(t *testing.T) {
+			_, err := rt.Run(func(th rfdet.Thread) {
+				a := th.Malloc(64)
+				th.Free(a)
+				th.Free(a) // double free
+			})
+			if err == nil {
+				t.Fatal("double free must fail the run")
+			}
+			if !strings.Contains(err.Error(), "free") {
+				t.Fatalf("error %q does not describe the allocator failure", err)
+			}
+		})
+	}
+}
+
+// The same, with peer threads blocked on synchronization the failing thread
+// will never provide: the abort must unwind them so Run returns, rather than
+// leaving the execution deadlocked behind the dead thread.
+func TestDoubleFreeUnblocksPeers(t *testing.T) {
+	runtimes := []rfdet.Runtime{
+		rfdet.NewCI(),
+		rfdet.NewDThreads(),
+		rfdet.NewPThreads(),
+	}
+	for _, rt := range runtimes {
+		rt := rt
+		t.Run(rt.Name(), func(t *testing.T) {
+			_, err := rt.Run(func(th rfdet.Thread) {
+				mu, cond := rfdet.Addr(64), rfdet.Addr(128)
+				flag := th.Malloc(8)
+				waiter := th.Spawn(func(c rfdet.Thread) {
+					c.Lock(mu)
+					for c.Load64(flag) == 0 {
+						c.Wait(cond, mu) // never signaled: main dies first
+					}
+					c.Unlock(mu)
+				})
+				a := th.Malloc(64)
+				th.Free(a)
+				th.Free(a) // double free while the waiter blocks
+				th.Join(waiter)
+			})
+			if err == nil {
+				t.Fatal("double free must fail the run")
+			}
+		})
+	}
+}

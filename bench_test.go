@@ -292,45 +292,58 @@ func BenchmarkMetadataGrowth(b *testing.B) {
 // the headline; monitor-acquires and the off-monitor diff-ns/apply-ns
 // breakdown are reported so regressions can be attributed.
 func BenchmarkMonitorContention(b *testing.B) {
+	runMonitorContention(b, rfdet.NewCI())
+}
+
+// BenchmarkMonitorContentionPhaseTrace is the identical program with phase
+// tracing enabled — the overhead comparison the tentpole's ≤2% budget is
+// measured against (see EXPERIMENTS.md).
+func BenchmarkMonitorContentionPhaseTrace(b *testing.B) {
+	opts := rfdet.DefaultOptions()
+	opts.PhaseTrace = true
+	runMonitorContention(b, rfdet.New(opts))
+}
+
+func monitorContentionProg(t rfdet.Thread) {
 	const (
 		workers = 4
 		rounds  = 30
 		pages   = 8
 	)
-	prog := func(t rfdet.Thread) {
-		data := t.Malloc(pages * 4096)
-		sum := t.Malloc(8)
-		mu := rfdet.Addr(64)
-		var ids []rfdet.ThreadID
-		for w := 0; w < workers; w++ {
-			me := uint64(w + 1)
-			ids = append(ids, t.Spawn(func(t rfdet.Thread) {
-				for round := 0; round < rounds; round++ {
-					t.Lock(mu)
-					for p := 0; p < pages; p++ {
-						base := data + rfdet.Addr(4096*p)
-						for i := 0; i < 64; i++ {
-							a := base + rfdet.Addr(8*i)
-							t.Store64(a, t.Load64(a)+me*0x0101010101010101)
-						}
+	data := t.Malloc(pages * 4096)
+	sum := t.Malloc(8)
+	mu := rfdet.Addr(64)
+	var ids []rfdet.ThreadID
+	for w := 0; w < workers; w++ {
+		me := uint64(w + 1)
+		ids = append(ids, t.Spawn(func(t rfdet.Thread) {
+			for round := 0; round < rounds; round++ {
+				t.Lock(mu)
+				for p := 0; p < pages; p++ {
+					base := data + rfdet.Addr(4096*p)
+					for i := 0; i < 64; i++ {
+						a := base + rfdet.Addr(8*i)
+						t.Store64(a, t.Load64(a)+me*0x0101010101010101)
 					}
-					t.Unlock(mu)
-					t.AtomicAdd64(sum, me)
-					t.Tick(100 * me)
 				}
-			}))
-		}
-		for _, id := range ids {
-			t.Join(id)
-		}
-		t.Observe(t.Load64(data), t.Load64(sum))
+				t.Unlock(mu)
+				t.AtomicAdd64(sum, me)
+				t.Tick(100 * me)
+			}
+		}))
 	}
-	rt := rfdet.NewCI()
+	for _, id := range ids {
+		t.Join(id)
+	}
+	t.Observe(t.Load64(data), t.Load64(sum))
+}
+
+func runMonitorContention(b *testing.B, rt rfdet.Runtime) {
 	var st rfdet.Stats
 	var first uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := rt.Run(prog)
+		rep, err := rt.Run(monitorContentionProg)
 		if err != nil {
 			b.Fatal(err)
 		}

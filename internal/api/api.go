@@ -12,7 +12,11 @@
 // variable (paper §4.1, "internal synchronization variables").
 package api
 
-import "time"
+import (
+	"time"
+
+	"rfdet/internal/trace"
+)
 
 // Addr is a virtual address in the simulated shared address space.
 type Addr uint64
@@ -262,4 +266,9 @@ type Report struct {
 	VirtualTime uint64
 	// Threads is the total number of threads created (including main).
 	Threads int
+	// Phases is the phase-level wall-clock timeline (nil unless the runtime
+	// ran with phase tracing enabled). Strictly observational: wall-clock
+	// spans never contribute to OutputHash, VirtualTime, or the deterministic
+	// trace.
+	Phases *trace.Report
 }

@@ -6,6 +6,7 @@ import (
 
 	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
 )
@@ -87,8 +88,10 @@ func modLists(slices []*slicestore.Slice) [][]mem.Run {
 // plan and accounts the coalesced-away bytes to t (the thread doing the
 // build).
 func (t *thread) buildPlan(slices []*slicestore.Slice) *mem.WritePlan {
+	ts := t.tb.Now()
 	plan := mem.BuildPlan(modLists(slices))
 	t.st.BytesCoalescedAway += plan.InputBytes - plan.UniqueBytes
+	t.tb.Span(trace.PhasePlanBuild, ts)
 	return plan
 }
 
@@ -187,7 +190,13 @@ func (t *thread) applySlicesPlanned(slices []*slicestore.Slice, plan *mem.WriteP
 			plan.Release()
 		}
 	}
-	t.st.ApplyNanos += uint64(time.Since(start))
+	el := time.Since(start)
+	t.st.ApplyNanos += uint64(el)
+	phase := trace.PhaseApply
+	if prelock {
+		phase = trace.PhasePremerge
+	}
+	t.tb.SpanDur(phase, start, el)
 }
 
 // applyPlanToSpace writes a plan into t's space, fanning the disjoint

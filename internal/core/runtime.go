@@ -24,6 +24,7 @@ import (
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
 )
@@ -110,6 +111,14 @@ type Options struct {
 	// Trace records every synchronization operation in deterministic
 	// admission order; fetch it with RunTraced.
 	Trace bool
+	// PhaseTrace records wall-clock phase spans (turn-wait, monitor-wait,
+	// diff, plan-build, apply, premerge, lazy-flush, block) into per-thread
+	// buffers and attaches them to Report.Phases, with the deterministic
+	// sync tracer's events cross-linked as instant marks. Strictly
+	// observational: wall-clock data never feeds outputs, virtual times or
+	// the deterministic trace, so every deterministic observable is
+	// bit-identical with phase tracing on or off.
+	PhaseTrace bool
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -152,6 +161,11 @@ type exec struct {
 	alloc  *alloc.Allocator
 	store  *slicestore.Store
 	tracer *tracer
+	// phases is the phase-level observability collector (nil unless
+	// Options.PhaseTrace): per-thread wall-clock span buffers, rendered
+	// into Report.Phases. Observational only — never part of the
+	// deterministic surface.
+	phases *trace.Collector
 
 	mu           sync.Mutex
 	threads      []*thread
@@ -230,7 +244,7 @@ func newExec(opts Options) *exec {
 	if workers > 8 {
 		workers = 8
 	}
-	return &exec{
+	e := &exec{
 		opts:     opts,
 		sched:    kendo.NewSched(),
 		alloc:    alloc.New(),
@@ -238,13 +252,21 @@ func newExec(opts Options) *exec {
 		syncvars: make(map[api.Addr]*syncVar),
 		diffSem:  make(chan struct{}, workers),
 	}
+	if opts.PhaseTrace {
+		e.phases = trace.NewCollector()
+	}
+	return e
 }
 
 // lockMonitor takes the global monitor on behalf of thread t, counting the
-// acquisition for the contention statistics.
+// acquisition for the contention statistics and recording the wait as a
+// monitor-wait phase span (one span per acquisition, so the span count
+// reconciles with Stats.MonitorAcquires).
 func (e *exec) lockMonitor(t *thread) {
+	ts := t.tb.Now()
 	e.mu.Lock()
 	t.st.MonitorAcquires++
+	t.tb.Span(trace.PhaseMonitorWait, ts)
 }
 
 // relockMonitor retakes the monitor after an off-monitor work window opened
@@ -298,6 +320,7 @@ func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
 		wake:       make(chan wakeEvent, 1),
 	}
 	t0.space.SetFaultHandler(t0.onFault)
+	t0.tb = e.phases.NewThread(0)
 	t0.proc = e.sched.Register(0, 0)
 	e.alloc.Register(0)
 	e.threads = append(e.threads, t0)
@@ -336,6 +359,7 @@ func (e *exec) runThread(t *thread) {
 		}
 		e.threadExit(t, r != nil)
 	}()
+	t.tb.Begin()
 	t.beginSlice()
 	t.fn(t)
 }
@@ -346,9 +370,11 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 	if !abnormal && !e.sched.Aborted() {
 		// Exit is a synchronization (release) operation: take the turn so
 		// the exit point is deterministic.
+		ts := t.tb.Now()
 		if ok, waited := e.sched.WaitForTurn(t.proc); ok {
 			if waited {
 				t.st.TurnWaits++
+				t.tb.Span(trace.PhaseTurnWait, ts)
 			}
 		}
 	}
@@ -375,9 +401,19 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 		e.wakeLocked(j, ev)
 	}
 	t.joiners = nil
+	t.tb.Finish()
 	if !e.aborted && e.liveCount > 0 && e.blockedCount == e.liveCount {
 		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked", e.liveCount))
 	}
+}
+
+// syncEvent records a synchronization operation on both observability
+// surfaces: the deterministic tracer (Options.Trace, byte-identical across
+// runs) and, cross-linked into the phase timeline, a wall-clock instant
+// mark (Options.PhaseTrace). Both sides no-op when their option is off.
+func (e *exec) syncEvent(t *thread, op string, addr api.Addr) {
+	e.tracer.record(t, op, addr)
+	t.tb.Mark(op, uint64(addr))
 }
 
 // fail aborts the execution with err (first error wins).
@@ -422,6 +458,11 @@ func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
 func (t *thread) blockLocked(site string) {
 	e := t.exec
 	t.blockedOn = site
+	// Captured before the status flips to Blocked: any span another thread
+	// records on this thread's behalf (premerge, barrier merge) requires
+	// Blocked status, so it provably starts after blockStart and nests inside
+	// the block span sleep() closes.
+	t.blockStart = t.tb.Now()
 	e.sched.Transition(func() { t.proc.SetStatus(kendo.Blocked) })
 	e.blockedCount++
 	if e.blockedCount == e.liveCount {
@@ -446,6 +487,7 @@ func (e *exec) blockSitesLocked() string {
 // sleep parks the thread until a wake event arrives.
 func (t *thread) sleep() wakeEvent {
 	ev := <-t.wake
+	t.tb.SpanDetail(trace.PhaseBlock, t.blockStart, t.blockedOn)
 	if ev.abort {
 		panic(errAborted)
 	}
@@ -487,6 +529,9 @@ func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
 	rep.Stats.MetadataCapacity = e.store.Capacity()
 	rep.Stats.GCCount = e.store.GCCount()
 	rep.Stats.RuntimeMemBytes = uint64(e.maxLive)*e.alloc.HighWater() + e.store.HighWater()
+	// Attached after the hash: phase spans are wall-clock observability and
+	// must never influence the deterministic output.
+	rep.Phases = e.phases.Render()
 	return rep
 }
 

@@ -9,6 +9,7 @@ import (
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
 )
@@ -43,9 +44,11 @@ import (
 // turn waits for the deterministic Kendo turn before a synchronization
 // operation (§4.1). It panics with errAborted if the execution failed.
 func (t *thread) turn() {
+	ts := t.tb.Now()
 	ok, waited := t.exec.sched.WaitForTurn(t.proc)
 	if waited {
 		t.st.TurnWaits++
+		t.tb.Span(trace.PhaseTurnWait, ts)
 	}
 	if !ok {
 		panic(errAborted)
@@ -92,7 +95,7 @@ func (t *thread) Lock(m api.Addr) {
 		ev := t.sleep()
 		t.vt = ev.vt
 		t.beginSlice()
-		e.tracer.record(t, "lock", m)
+		e.syncEvent(t, "lock", m)
 		t.applySlices(ev.slices, false)
 		return
 	}
@@ -104,7 +107,7 @@ func (t *thread) Lock(m api.Addr) {
 		// so no remote updates can be pending and the current slice may
 		// simply continue across the acquire.
 		t.st.SlicesMerged++
-		e.tracer.record(t, "lock*", m)
+		e.syncEvent(t, "lock*", m)
 		t.finishOpLocked()
 		e.mu.Unlock()
 		return
@@ -112,7 +115,7 @@ func (t *thread) Lock(m api.Addr) {
 	t.endSliceDropLock()
 	slices := t.acquireCollectLocked(sv)
 	t.beginSlice()
-	e.tracer.record(t, "lock", m)
+	e.syncEvent(t, "lock", m)
 	t.finishOpLocked()
 	e.mu.Unlock()
 	t.applySlices(slices, false)
@@ -154,7 +157,7 @@ func (t *thread) Unlock(m api.Addr) {
 		sv.owner = -1
 	}
 	t.beginSlice()
-	e.tracer.record(t, "unlock", m)
+	e.syncEvent(t, "unlock", m)
 	t.finishOpLocked()
 	e.mu.Unlock()
 }
@@ -198,7 +201,7 @@ func (t *thread) Wait(c, m api.Addr) {
 	// Queue on the condition variable, in deterministic order.
 	svc := e.syncvar(c)
 	svc.condQ = append(svc.condQ, condEntry{tid: t.id, mutex: m})
-	e.tracer.record(t, "wait", c)
+	e.syncEvent(t, "wait", c)
 	t.blockLocked(fmt.Sprintf("cond wait %#x (mutex %#x)", uint64(c), uint64(m)))
 	t.finishOpLocked()
 	e.mu.Unlock()
@@ -210,7 +213,7 @@ func (t *thread) Wait(c, m api.Addr) {
 	ev := t.sleep()
 	t.vt = ev.vt
 	t.beginSlice()
-	e.tracer.record(t, "wake", c)
+	e.syncEvent(t, "wake", c)
 	t.applySlices(ev.slices, false)
 }
 
@@ -254,9 +257,9 @@ func (t *thread) signal(c api.Addr, all bool) {
 	}
 	t.beginSlice()
 	if all {
-		e.tracer.record(t, "broadcast", c)
+		e.syncEvent(t, "broadcast", c)
 	} else {
-		e.tracer.record(t, "signal", c)
+		e.syncEvent(t, "signal", c)
 	}
 	t.finishOpLocked()
 	e.mu.Unlock()
@@ -292,7 +295,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		ev := t.sleep()
 		t.vt = ev.vt
 		t.beginSlice()
-		e.tracer.record(t, "barrier", b)
+		e.syncEvent(t, "barrier", b)
 		return
 	}
 
@@ -344,7 +347,9 @@ func (t *thread) Barrier(b api.Addr, n int) {
 			leader.applyPlanToSpace(plan)
 			plan.Release()
 		}
-		leader.st.ApplyNanos += uint64(time.Since(start))
+		el := time.Since(start)
+		leader.st.ApplyNanos += uint64(el)
+		leader.tb.SpanDur(trace.PhaseApply, start, el)
 	}
 	releaseVT += vtime.FencePhase + mergeCost
 	leader.vt = vtime.Max(leader.vt, releaseVT)
@@ -379,7 +384,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 	}
 	t.vt = vtime.Max(t.vt, releaseVT)
 	t.beginSlice()
-	e.tracer.record(t, "barrier", b)
+	e.syncEvent(t, "barrier", b)
 	t.finishOpLocked()
 	e.mu.Unlock()
 }
@@ -421,6 +426,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		child.noComm = true
 	}
 	child.proc = e.sched.Register(int32(id), t.proc.Clock()+1)
+	child.tb = e.phases.NewThread(int(id))
 	e.alloc.Register(int(id))
 	e.threads = append(e.threads, child)
 	e.liveCount++
@@ -439,7 +445,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	e.wg.Add(1)
 	go e.runThread(child)
 	t.beginSlice()
-	e.tracer.record(t, "spawn", api.Addr(id))
+	e.syncEvent(t, "spawn", api.Addr(id))
 	t.finishOpLocked()
 	e.mu.Unlock()
 	return id
@@ -476,13 +482,13 @@ func (t *thread) Join(id api.ThreadID) {
 		t.vt = ev.vt
 		t.finishOpLocked()
 		t.beginSlice()
-		e.tracer.record(t, "join", api.Addr(id))
+		e.syncEvent(t, "join", api.Addr(id))
 		t.applySlices(ev.slices, false)
 		return
 	}
 	slices := t.acquireFromCollectLocked(int32(target.id), target.exitV, target.exitVT)
 	t.beginSlice()
-	e.tracer.record(t, "join", api.Addr(id))
+	e.syncEvent(t, "join", api.Addr(id))
 	t.finishOpLocked()
 	e.mu.Unlock()
 	t.applySlices(slices, false)
@@ -559,7 +565,7 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 		t.releaseLocked(sv, tend)
 	}
 	t.beginSlice()
-	e.tracer.record(t, "atomic", a)
+	e.syncEvent(t, "atomic", a)
 	t.finishOpLocked()
 	e.mu.Unlock()
 }

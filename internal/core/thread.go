@@ -11,6 +11,7 @@ import (
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
 )
@@ -67,6 +68,16 @@ type thread struct {
 	// traceSeq orders this thread's own trace events (trace.go sorts the
 	// global trace by deterministic keys, not by arrival).
 	traceSeq uint64
+	// tb is the thread's phase-trace buffer (nil unless Options.PhaseTrace).
+	// Appended to by this thread's goroutine, or — while this thread is
+	// provably blocked — by another thread under exec.mu, the same ownership
+	// discipline as st.
+	tb *trace.ThreadBuf
+	// blockStart is the epoch-relative instant this thread began blocking,
+	// captured under the monitor in blockLocked so that spans recorded on the
+	// thread's behalf by other goroutines (premerge, barrier merge) provably
+	// nest inside the block span.
+	blockStart int64
 	// blockedOn describes the current block site for deadlock diagnostics.
 	blockedOn string
 	joiners   []*thread
@@ -431,7 +442,9 @@ func (t *thread) finishSlice() *slicestore.Slice {
 	}
 	t.snapOrder = t.snapOrder[:0]
 	t.space.ResetDirty()
-	t.st.DiffNanos += uint64(time.Since(start))
+	el := time.Since(start)
+	t.st.DiffNanos += uint64(el)
+	t.tb.SpanDur(trace.PhaseDiff, start, el)
 	if len(mods) == 0 {
 		return nil
 	}
@@ -538,6 +551,8 @@ func (t *thread) pendPlan(plan *mem.WritePlan) {
 // the apply is a single pass; the raw (NoCoalesce) path recounts it the
 // seed's way.
 func (t *thread) flushPage(pid mem.PageID) {
+	ts := t.tb.Now()
+	defer t.tb.Span(trace.PhaseLazyFlush, ts)
 	pe := t.pending[pid]
 	delete(t.pending, pid)
 	t.space.Protect(pid, mem.ProtRW)

@@ -19,6 +19,7 @@ import (
 	"rfdet/internal/dthreads"
 	"rfdet/internal/pthreads"
 	"rfdet/internal/stats"
+	"rfdet/internal/trace"
 	"rfdet/internal/workloads"
 )
 
@@ -188,6 +189,53 @@ func PropagationTable(out io.Writer, size workloads.Size, threads int) error {
 	return nil
 }
 
+// NewRFDetCITraced returns RFDet-ci with phase-level wall-clock tracing
+// enabled. Tracing is observational: the deterministic output is identical to
+// NewRFDetCI's.
+func NewRFDetCITraced() api.Runtime {
+	opts := core.DefaultOptions()
+	opts.PhaseTrace = true
+	return core.New(opts)
+}
+
+// PhaseTable renders the phase-level wall-clock breakdown of every workload
+// under RFDet-ci: where each execution actually spends its host time — turn
+// waits, monitor waits, slice diffing, plan building, slice application,
+// prelock pre-merges, lazy flushes, blocked time, and the remainder (user
+// compute). Durations are wall-clock and host-dependent; the table is
+// observability only and is not part of the deterministic artifact set.
+func PhaseTable(out io.Writer, size workloads.Size, threads int) error {
+	cfg := workloads.Config{Threads: threads, Size: size}
+	fmt.Fprintf(out, "Phase-level wall-clock breakdown (%d threads, size %s, RFDet-ci, host-dependent)\n\n", threads, size)
+	fmt.Fprintf(out, "%-18s %8s %8s %8s %8s %8s %8s %8s %9s %8s %8s\n",
+		"benchmark", "turn-us", "mon-us", "diff-us", "plan-us", "apply-us",
+		"premrg-us", "lazy-us", "block-us", "user-us", "wall-us")
+	for _, w := range workloads.All() {
+		r, err := Run(NewRFDetCITraced(), w, cfg, 1)
+		if err != nil {
+			return err
+		}
+		ph := r.Report.Phases
+		if ph == nil {
+			return fmt.Errorf("harness: %s ran without a phase report", w.Name)
+		}
+		tot := ph.PhaseTotals()
+		us := func(p trace.Phase) int64 { return tot[p].Microseconds() }
+		fmt.Fprintf(out, "%-18s %8d %8d %8d %8d %8d %8d %8d %9d %8d %8d\n",
+			w.Name,
+			us(trace.PhaseTurnWait), us(trace.PhaseMonitorWait),
+			us(trace.PhaseDiff), us(trace.PhasePlanBuild),
+			us(trace.PhaseApply), us(trace.PhasePremerge),
+			us(trace.PhaseLazyFlush), us(trace.PhaseBlock),
+			ph.UserTime().Microseconds(),
+			r.Report.Elapsed.Microseconds())
+	}
+	fmt.Fprintln(out, "\nuser-us is per-thread lifetime minus the union of recorded phase spans,")
+	fmt.Fprintln(out, "summed over threads; block-us overlaps the merge work done on a blocked")
+	fmt.Fprintln(out, "thread's behalf (premerge and barrier-merge spans nest inside block spans).")
+	return nil
+}
+
 // Figure8 regenerates Figure 8: scalability of RFDet-ci vs pthreads — the
 // speedup of 4- and 8-thread executions relative to 2 threads, by virtual
 // time. As in the paper, dedup and ferret are omitted and lu-con represents
@@ -347,6 +395,7 @@ func AllExperiments(out io.Writer, size workloads.Size, threads, repeats, raceyR
 		func() error { return Figure7(out, size, threads, repeats) },
 		func() error { return Table1(out, size, threads) },
 		func() error { return PropagationTable(out, size, threads) },
+		func() error { return PhaseTable(out, size, threads) },
 		func() error { return Figure8(out, size, repeats) },
 		func() error { return Figure9(out, size, threads, repeats) },
 	}

@@ -11,6 +11,7 @@
 package pthreads
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -33,16 +34,65 @@ func New() *Runtime { return &Runtime{} }
 // Name returns "pthreads".
 func (r *Runtime) Name() string { return "pthreads" }
 
+// errAborted is the panic sentinel that unwinds a thread goroutine after the
+// execution has failed; the abort path mirrors internal/core's recoverable
+// abort so runtime errors (allocator failures, replay divergence injected by
+// wrappers) surface as an error from Run instead of crashing the host
+// process or hanging its peers.
+var errAborted = errors.New("pthreads: execution aborted")
+
 // exec is one program execution.
 type exec struct {
 	alloc *alloc.Allocator
 	space *sharedSpace
 
+	// abort is closed (once) when the execution fails, so channel-parked
+	// threads (cond waits) can unwind without a wakeup from the failed peer.
+	abort chan struct{}
+
 	mu       sync.Mutex
 	threads  []*thread
 	syncvars map[api.Addr]*syncVar
 	err      error
+	aborted  bool
 	wg       sync.WaitGroup
+}
+
+// fail aborts the execution with err (first error wins): it closes the abort
+// channel and broadcasts every barrier condition, so blocked threads observe
+// the abort and unwind via errAborted instead of waiting for wakeups their
+// failed peers will never deliver.
+func (e *exec) fail(err error) {
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		return
+	}
+	e.aborted = true
+	if e.err == nil {
+		e.err = err
+	}
+	close(e.abort)
+	svs := make([]*syncVar, 0, len(e.syncvars))
+	for _, sv := range e.syncvars {
+		svs = append(svs, sv)
+	}
+	e.mu.Unlock()
+	for _, sv := range svs {
+		sv.barMu.Lock()
+		sv.barCond.Broadcast()
+		sv.barMu.Unlock()
+	}
+}
+
+// isAborted reports whether the execution has failed.
+func (e *exec) isAborted() bool {
+	select {
+	case <-e.abort:
+		return true
+	default:
+		return false
+	}
 }
 
 // sharedSpace is the single flat shared memory, guarded by a mutex so racy
@@ -200,6 +250,7 @@ func (r *Runtime) Run(main api.ThreadFunc) (*api.Report, error) {
 		alloc:    alloc.New(),
 		space:    newSharedSpace(),
 		syncvars: make(map[api.Addr]*syncVar),
+		abort:    make(chan struct{}),
 	}
 	e.alloc.Register(0)
 	t0 := &thread{exec: e, id: 0, fn: main, done: make(chan struct{}),
@@ -252,13 +303,16 @@ func (e *exec) runThread(t *thread) {
 	defer e.wg.Done()
 	defer close(t.done)
 	defer func() {
-		if r := recover(); r != nil {
-			e.mu.Lock()
-			if e.err == nil {
-				e.err = fmt.Errorf("pthreads: thread %d panicked: %v", t.id, r)
-			}
-			e.mu.Unlock()
+		r := recover()
+		if r == nil {
+			return
 		}
+		if r == errAborted { //nolint:errorlint // sentinel identity
+			return // the failure is already recorded
+		}
+		// Any other panic is a failure of this thread; abort the execution so
+		// peers blocked on this thread's wakeups unwind too.
+		e.fail(fmt.Errorf("pthreads: thread %d panicked: %v", t.id, r))
 	}()
 	t.fn(t)
 }
@@ -354,7 +408,8 @@ func (t *thread) Malloc(size uint64) api.Addr {
 func (t *thread) Free(a api.Addr) {
 	t.Tick(8)
 	if err := t.exec.alloc.Free(uint64(a)); err != nil {
-		panic(err)
+		t.exec.fail(fmt.Errorf("pthreads: thread %d: %v", t.id, err))
+		panic(errAborted)
 	}
 }
 
@@ -388,7 +443,11 @@ func (t *thread) Wait(c, m api.Addr) {
 	svc.qmu.Unlock()
 	svm.lastVT = t.vt
 	svm.mu.Unlock()
-	<-ch
+	select {
+	case <-ch:
+	case <-t.exec.abort:
+		panic(errAborted)
+	}
 	svm.mu.Lock()
 	svc.qmu.Lock()
 	t.vt = vtime.Max(t.vt, svc.sigVT)
@@ -440,6 +499,12 @@ func (t *thread) Barrier(b api.Addr, n int) {
 	}
 	gen := sv.barGen
 	for gen == sv.barGen {
+		// fail broadcasts under barMu, which we hold between this check and
+		// Wait's atomic release, so the abort wakeup cannot be missed.
+		if t.exec.isAborted() {
+			sv.barMu.Unlock()
+			panic(errAborted)
+		}
 		sv.barCond.Wait()
 	}
 	t.vt = sv.barVT

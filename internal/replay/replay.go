@@ -26,6 +26,7 @@
 package replay
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -204,6 +205,14 @@ func NewReplayer(log *Log) *Replayer { return &Replayer{log: log} }
 // Name implements api.Runtime.
 func (r *Replayer) Name() string { return "pthreads-replay" }
 
+// errReplayAbort is the panic sentinel that unwinds a replayed thread after
+// the sequencer has detected divergence. The wrappers restore any application
+// mutex they hold before panicking, the panic aborts the underlying pthreads
+// execution (which unwinds the remaining threads), and Run reports the
+// sequencer's divergence error — a prompt, descriptive failure instead of a
+// nondeterministic continuation or a deadlock.
+var errReplayAbort = errors.New("replay: aborted after divergence")
+
 // Run re-executes the program, admitting synchronization operations in the
 // recorded global order.
 func (r *Replayer) Run(main api.ThreadFunc) (*api.Report, error) {
@@ -212,6 +221,11 @@ func (r *Replayer) Run(main api.ThreadFunc) (*api.Report, error) {
 	rep, err := pthreads.New().Run(func(t api.Thread) {
 		main(&replayThread{Thread: t, seq: seq})
 	})
+	// A detected divergence is the root cause of whatever the underlying
+	// runtime reported (the wrappers abort it on purpose); report it first.
+	if serr := seq.failure(); serr != nil {
+		return nil, serr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -230,28 +244,47 @@ type sequencer struct {
 	failed error
 }
 
-// await blocks tid until the next log entry names it with the given kind,
-// then consumes the entry.
-func (s *sequencer) await(tid api.ThreadID, kind EventKind, addr api.Addr) {
+// await blocks tid until the next log entry names it, then consumes the
+// entry. It returns a non-nil error when the replay has diverged from the
+// log: the thread performed an operation the log does not record next for it
+// — wrong kind or wrong address (for Spawn/Join the address is the thread-ID
+// payload) — or the log ran out. Threads are sequential, so once the head
+// entry names tid, only a matching operation by tid can ever consume it;
+// any mismatch is a divergence that would otherwise deadlock the sequencer.
+// The caller must unwind the program on error (see replayThread).
+func (s *sequencer) await(tid api.ThreadID, kind EventKind, addr api.Addr) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.failed != nil {
-			return
+			return s.failed
 		}
 		if s.next >= len(s.log.Events) {
 			s.failed = fmt.Errorf("replay: log exhausted at thread %d %s %#x", tid, kind, uint64(addr))
 			s.cond.Broadcast()
-			return
+			return s.failed
 		}
 		ev := s.log.Events[s.next]
-		if ev.Tid == tid && ev.Kind == kind {
+		if ev.Tid == tid {
+			if ev.Kind != kind || ev.Addr != addr {
+				s.failed = fmt.Errorf("replay: diverged at event %d: thread %d performed %s %#x, log records %s %#x",
+					ev.Seq, tid, kind, uint64(addr), ev.Kind, uint64(ev.Addr))
+				s.cond.Broadcast()
+				return s.failed
+			}
 			s.next++
 			s.cond.Broadcast()
-			return
+			return nil
 		}
 		s.cond.Wait()
 	}
+}
+
+// failure returns the divergence error, if one was detected.
+func (s *sequencer) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 func (s *sequencer) err() error {
@@ -266,19 +299,28 @@ func (s *sequencer) err() error {
 	return nil
 }
 
-// replayThread gates each synchronization operation on the sequencer.
+// replayThread gates each synchronization operation on the sequencer. When
+// await reports divergence the wrapper unwinds the thread with errReplayAbort
+// — after releasing any application mutex it holds, so peers blocked on that
+// mutex at the pthreads level are not left deadlocked behind a dead thread.
 type replayThread struct {
 	api.Thread
 	seq *sequencer
 }
 
 func (t *replayThread) Lock(m api.Addr) {
-	t.seq.await(t.ID(), EvLock, m)
+	if err := t.seq.await(t.ID(), EvLock, m); err != nil {
+		panic(errReplayAbort)
+	}
 	t.Thread.Lock(m)
 }
 
 func (t *replayThread) Unlock(m api.Addr) {
-	t.seq.await(t.ID(), EvUnlock, m)
+	if err := t.seq.await(t.ID(), EvUnlock, m); err != nil {
+		// The application mutex is still held; release it before unwinding.
+		t.Thread.Unlock(m)
+		panic(errReplayAbort)
+	}
 	t.Thread.Unlock(m)
 }
 
@@ -286,43 +328,62 @@ func (t *replayThread) Wait(c, m api.Addr) {
 	// The wait's position in the log is its wakeup; the underlying wait
 	// must proceed so the recorded signaler can run.
 	t.Thread.Wait(c, m)
-	t.seq.await(t.ID(), EvWait, c)
+	if err := t.seq.await(t.ID(), EvWait, c); err != nil {
+		// The underlying wait reacquired the mutex; release it before
+		// unwinding.
+		t.Thread.Unlock(m)
+		panic(errReplayAbort)
+	}
 }
 
 func (t *replayThread) Signal(c api.Addr) {
-	t.seq.await(t.ID(), EvSignal, c)
+	if err := t.seq.await(t.ID(), EvSignal, c); err != nil {
+		panic(errReplayAbort)
+	}
 	t.Thread.Signal(c)
 }
 
 func (t *replayThread) Broadcast(c api.Addr) {
-	t.seq.await(t.ID(), EvBroadcast, c)
+	if err := t.seq.await(t.ID(), EvBroadcast, c); err != nil {
+		panic(errReplayAbort)
+	}
 	t.Thread.Broadcast(c)
 }
 
 func (t *replayThread) Barrier(b api.Addr, n int) {
 	t.Thread.Barrier(b, n)
-	t.seq.await(t.ID(), EvBarrier, b)
+	if err := t.seq.await(t.ID(), EvBarrier, b); err != nil {
+		panic(errReplayAbort)
+	}
 }
 
 func (t *replayThread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	id := t.Thread.Spawn(func(c api.Thread) {
 		fn(&replayThread{Thread: c, seq: t.seq})
 	})
-	t.seq.await(t.ID(), EvSpawn, api.Addr(id))
+	if err := t.seq.await(t.ID(), EvSpawn, api.Addr(id)); err != nil {
+		panic(errReplayAbort)
+	}
 	return id
 }
 
 func (t *replayThread) Join(id api.ThreadID) {
 	t.Thread.Join(id)
-	t.seq.await(t.ID(), EvJoin, api.Addr(id))
+	if err := t.seq.await(t.ID(), EvJoin, api.Addr(id)); err != nil {
+		panic(errReplayAbort)
+	}
 }
 
 func (t *replayThread) AtomicAdd64(a api.Addr, delta uint64) uint64 {
-	t.seq.await(t.ID(), EvAtomic, a)
+	if err := t.seq.await(t.ID(), EvAtomic, a); err != nil {
+		panic(errReplayAbort)
+	}
 	return t.Thread.AtomicAdd64(a, delta)
 }
 
 func (t *replayThread) AtomicCAS64(a api.Addr, old, new uint64) bool {
-	t.seq.await(t.ID(), EvAtomic, a)
+	if err := t.seq.await(t.ID(), EvAtomic, a); err != nil {
+		panic(errReplayAbort)
+	}
 	return t.Thread.AtomicCAS64(a, old, new)
 }

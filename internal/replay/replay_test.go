@@ -1,7 +1,10 @@
 package replay
 
 import (
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"rfdet/internal/api"
 )
@@ -176,5 +179,166 @@ func TestEventKindStrings(t *testing.T) {
 			t.Fatalf("bad or duplicate kind string %q", s)
 		}
 		seen[s] = true
+	}
+}
+
+func TestReplayDetectsWrongAddress(t *testing.T) {
+	// A diverged replay that performs the same kind of operation on a
+	// *different* variable must be rejected: matching (tid, kind) alone would
+	// silently admit it and keep the log "consistent".
+	prog := func(t api.Thread) {
+		muA, muB := api.Addr(64), api.Addr(128)
+		t.Lock(muA)
+		t.Unlock(muA)
+		t.Lock(muB)
+		t.Unlock(muB)
+	}
+	_, log, err := NewRecorder().Record(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-edit the second lock to a mutex address the program never uses.
+	edited := 0
+	for i, ev := range log.Events {
+		if ev.Kind == EvLock && ev.Addr == api.Addr(128) {
+			log.Events[i].Addr = api.Addr(4096)
+			edited++
+		}
+	}
+	if edited != 1 {
+		t.Fatalf("edited %d events, want 1", edited)
+	}
+	_, err = NewReplayer(log).Run(prog)
+	if err == nil {
+		t.Fatal("expected divergence error for wrong mutex address")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("error %q does not identify the divergence", err)
+	}
+	if !strings.Contains(err.Error(), "0x80") || !strings.Contains(err.Error(), "0x1000") {
+		t.Fatalf("error %q does not name both addresses", err)
+	}
+}
+
+func TestReplayTruncatedLogFailsPromptly(t *testing.T) {
+	// A truncated log must produce a prompt log-exhausted error: before the
+	// divergence abort, threads past the detection point ran *unsequenced*,
+	// and a multi-thread program could deadlock inside the underlying runtime
+	// instead of returning.
+	_, log, err := NewRecorder().Record(lockStepProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Events = log.Events[:len(log.Events)/2]
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewReplayer(log).Run(lockStepProgram)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected log-exhausted error")
+		}
+		if !strings.Contains(err.Error(), "exhausted") {
+			t.Fatalf("error %q does not report log exhaustion", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("truncated-log replay hung instead of erroring")
+	}
+}
+
+func TestRecorderLogOrdering(t *testing.T) {
+	// The record points are release-before / acquire-after: Unlock logs
+	// before the mutex is released, Lock logs after it is acquired. For a
+	// single contended mutex this makes the recorded lock/unlock events
+	// strictly alternate — the property replay admission relies on. Were
+	// Unlock logged after the release (or Lock before the acquire), the next
+	// winner's lock record could overtake it.
+	prog := func(t api.Thread) {
+		mu := api.Addr(64)
+		x := t.Malloc(8)
+		var ids []api.ThreadID
+		for w := 0; w < 4; w++ {
+			ids = append(ids, t.Spawn(func(c api.Thread) {
+				for k := 0; k < 8; k++ {
+					c.Lock(mu)
+					c.Store64(x, c.Load64(x)+1)
+					c.Unlock(mu)
+				}
+			}))
+		}
+		for _, id := range ids {
+			t.Join(id)
+		}
+	}
+	_, log, err := NewRecorder().Record(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLock := true
+	var holder api.ThreadID = -1
+	n := 0
+	for _, ev := range log.Events {
+		if ev.Addr != api.Addr(64) || (ev.Kind != EvLock && ev.Kind != EvUnlock) {
+			continue
+		}
+		n++
+		if wantLock {
+			if ev.Kind != EvLock {
+				t.Fatalf("event %d: got %s, want alternating lock/unlock", ev.Seq, ev.Kind)
+			}
+			holder = ev.Tid
+		} else {
+			if ev.Kind != EvUnlock {
+				t.Fatalf("event %d: got %s, want alternating lock/unlock", ev.Seq, ev.Kind)
+			}
+			if ev.Tid != holder {
+				t.Fatalf("event %d: unlock by thread %d, lock was by %d", ev.Seq, ev.Tid, holder)
+			}
+		}
+		wantLock = !wantLock
+	}
+	if n != 64 {
+		t.Fatalf("saw %d lock/unlock events on the mutex, want 64", n)
+	}
+	if !wantLock {
+		t.Fatal("log ends with an unmatched lock")
+	}
+}
+
+func TestSequencerExhaustedLog(t *testing.T) {
+	seq := &sequencer{log: &Log{}}
+	seq.cond = sync.NewCond(&seq.mu)
+	if err := seq.await(0, EvLock, 64); err == nil {
+		t.Fatal("await on an empty log must fail")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("error %q does not report exhaustion", err)
+	}
+	// The failure is sticky: later awaits fail immediately, with the
+	// original error.
+	if err := seq.await(1, EvUnlock, 128); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("sticky failure not reported: %v", err)
+	}
+	if err := seq.err(); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("err() = %v, want the exhaustion failure", err)
+	}
+}
+
+func TestSequencerLeftoverEvents(t *testing.T) {
+	seq := &sequencer{log: &Log{Events: []Event{
+		{Seq: 0, Tid: 0, Kind: EvLock, Addr: 64},
+		{Seq: 1, Tid: 0, Kind: EvUnlock, Addr: 64},
+	}}}
+	seq.cond = sync.NewCond(&seq.mu)
+	if err := seq.await(0, EvLock, 64); err != nil {
+		t.Fatal(err)
+	}
+	err := seq.err()
+	if err == nil {
+		t.Fatal("unconsumed log entries must be an error")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("error %q does not report consumption counts", err)
 	}
 }

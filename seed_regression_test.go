@@ -1,6 +1,7 @@
 package rfdet_test
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"rfdet"
 	"rfdet/internal/core"
 	"rfdet/internal/litmus"
+	"rfdet/internal/trace"
 	"rfdet/internal/workloads"
 )
 
@@ -193,5 +195,50 @@ func TestSeedRegressionNoCoalesceMatches(t *testing.T) {
 	if r.Stats.BytesCoalescedAway != 0 || r.Stats.PlanReuse != 0 {
 		t.Fatalf("NoCoalesce still coalesced: %d bytes away, %d plan reuses",
 			r.Stats.BytesCoalescedAway, r.Stats.PlanReuse)
+	}
+}
+
+// TestSeedRegressionPhaseTraceMatches is the loop-closer for phase-level
+// observability: running the exact seed workload with phase tracing ON must
+// hit the exact same goldens — output, virtual time and deterministic trace
+// digest — proving wall-clock span recording never touches the determinism
+// surface. The recorded spans themselves must still reconcile with the Stats
+// counters and export as valid Chrome-trace JSON.
+func TestSeedRegressionPhaseTraceMatches(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	opts.PhaseTrace = true
+	rt := core.New(opts)
+	w, err := workloads.ByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OutputHash != goldenWordcountOutput || r.VirtualTime != goldenWordcountVTime {
+		t.Fatalf("PhaseTrace: output=%#x vtime=%d, seed output=%#x vtime=%d",
+			r.OutputHash, r.VirtualTime, goldenWordcountOutput, goldenWordcountVTime)
+	}
+	if th := fnvString(tr.String()); th != goldenWordcountTrace {
+		t.Fatalf("PhaseTrace: trace hash %#x, seed %#x", th, goldenWordcountTrace)
+	}
+	if r.Phases == nil {
+		t.Fatal("phase report missing")
+	}
+	tot := r.Phases.PhaseTotals()
+	if got := uint64(tot[trace.PhaseDiff]); got != r.Stats.DiffNanos {
+		t.Fatalf("diff span total %d != Stats.DiffNanos %d", got, r.Stats.DiffNanos)
+	}
+	if got := uint64(tot[trace.PhaseApply] + tot[trace.PhasePremerge]); got != r.Stats.ApplyNanos {
+		t.Fatalf("apply+premerge span total %d != Stats.ApplyNanos %d", got, r.Stats.ApplyNanos)
+	}
+	var buf bytes.Buffer
+	if err := r.Phases.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
 	}
 }
