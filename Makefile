@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race bench fmt vet
+.PHONY: verify build test race bench fmt vet lint detvet-bin
 
 verify:
 	sh scripts/verify.sh
@@ -22,3 +22,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# detvet-bin builds the determinism analyzer suite and prints the binary
+# path (its only stdout), so it composes as: go vet -vettool=$(make detvet-bin) ./...
+detvet-bin:
+	@$(GO) build -o bin/detvet ./tools/detvet
+	@echo $(CURDIR)/bin/detvet
+
+# lint runs the repo's determinism analyzers (maporder, wallclock,
+# nativesync) over the whole tree via go vet.
+lint:
+	$(GO) build -o bin/detvet ./tools/detvet
+	$(GO) vet -vettool=$(CURDIR)/bin/detvet ./...

@@ -304,6 +304,16 @@ func BenchmarkMonitorContentionPhaseTrace(b *testing.B) {
 	runMonitorContention(b, rfdet.New(opts))
 }
 
+// BenchmarkMonitorContentionRaceDetect is the identical program with the
+// happens-before race detector enabled — the detection-overhead comparison
+// for EXPERIMENTS.md (read tracking + per-slice access recording + end-of-run
+// analysis, all off the deterministic path).
+func BenchmarkMonitorContentionRaceDetect(b *testing.B) {
+	opts := rfdet.DefaultOptions()
+	opts.RaceDetect = true
+	runMonitorContention(b, rfdet.New(opts))
+}
+
 func monitorContentionProg(t rfdet.Thread) {
 	const (
 		workers = 4

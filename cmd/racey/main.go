@@ -7,6 +7,12 @@
 // use -runs 1000 for the paper's count) on the selected runtime.
 //
 //	racey [-runtime rfdet-ci|rfdet-pf|dthreads|coredet|pthreads] [-runs N] [-threads N]
+//
+// With -detect the happens-before race detector runs instead: racey is
+// executed 20 times per thread count and the deterministic race report must
+// be non-empty and byte-identical on every run.
+//
+//	racey -detect [-threads N] [-size test|small|medium]
 package main
 
 import (
@@ -23,6 +29,7 @@ func main() {
 	runs := flag.Int("runs", 100, "executions per thread count")
 	threadsFlag := flag.Int("threads", 0, "run only this thread count (default: 2, 4 and 8)")
 	size := flag.String("size", "small", "problem size: test, small or medium")
+	detect := flag.Bool("detect", false, "run the happens-before race detector (rfdet-ci only) and require a stable report across 20 runs")
 	flag.Parse()
 
 	var rt rfdet.Runtime
@@ -63,6 +70,14 @@ func main() {
 	if *threadsFlag > 0 {
 		threadCounts = []int{*threadsFlag}
 	}
+	if *detect {
+		if *rtName != "rfdet-ci" {
+			fmt.Fprintln(os.Stderr, "racey: -detect requires -runtime rfdet-ci")
+			os.Exit(2)
+		}
+		detectRaces(racey, threadCounts, sz)
+		return
+	}
 	fail := false
 	for _, n := range threadCounts {
 		seen := map[uint64]int{}
@@ -94,4 +109,43 @@ func main() {
 	} else {
 		fmt.Println("deterministic: every run produced the same signature (§5.1)")
 	}
+}
+
+// detectRaces runs racey under the happens-before race detector 20 times per
+// thread count: the report must be non-empty (racey is races by design) and
+// byte-identical across all runs — a deterministic artifact like the output.
+func detectRaces(racey workloads.Workload, threadCounts []int, sz workloads.Size) {
+	const detectRuns = 20
+	rt := rfdet.NewCIRace()
+	for _, n := range threadCounts {
+		var first string
+		var firstHash uint64
+		var races int
+		for i := 0; i < detectRuns; i++ {
+			rep, err := rt.Run(racey.Prog(workloads.Config{Threads: n, Size: sz}))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "racey: %v\n", err)
+				os.Exit(1)
+			}
+			if rep.Races == nil {
+				fmt.Fprintln(os.Stderr, "racey: runtime produced no race report")
+				os.Exit(1)
+			}
+			if i == 0 {
+				first, firstHash, races = rep.Races.String(), rep.Races.Hash(), len(rep.Races.Races)
+				continue
+			}
+			if rep.Races.String() != first {
+				fmt.Fprintf(os.Stderr, "racey: race report diverged on run %d (%d threads)\n", i, n)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%s, %d threads, %d runs: %d race(s), report hash %#016x — stable across all runs\n",
+			rt.Name(), n, detectRuns, races, firstHash)
+		if races == 0 {
+			fmt.Fprintln(os.Stderr, "racey: detector found no races in a program made of races")
+			os.Exit(1)
+		}
+	}
+	fmt.Println("race report is a deterministic artifact: byte-identical on every run")
 }

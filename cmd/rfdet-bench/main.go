@@ -8,6 +8,7 @@
 //	rfdet-bench figure9   prelock / lazy-writes optimization study (Figure 9)
 //	rfdet-bench racey     the §5.1 determinism stress test
 //	rfdet-bench litmus    the DLRC memory-model litmus table (§3)
+//	rfdet-bench racetable happens-before race detection vs litmus classification (DESIGN.md §12)
 //	rfdet-bench all       everything, in paper order
 //	rfdet-bench validate-trace <file>  check an exported trace file
 //
@@ -96,7 +97,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome-trace phase timeline of one workload to this file")
 	traceWorkload := flag.String("traceworkload", "wordcount", "workload to trace with -trace")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|propagation|phases|figure8|figure9|racey|litmus|all\n")
+		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|propagation|phases|figure8|figure9|racey|litmus|racetable|all\n")
 		fmt.Fprintf(os.Stderr, "       rfdet-bench [flags] validate-trace <file>\n")
 		fmt.Fprintf(os.Stderr, "       rfdet-bench [flags] -trace out.json\n")
 		flag.PrintDefaults()
@@ -148,6 +149,8 @@ func main() {
 		err = harness.RaceyCheck(os.Stdout, sz, *runs)
 	case "litmus":
 		err = harness.LitmusTable(os.Stdout, *runs)
+	case "racetable":
+		err = harness.RaceTable(os.Stdout, sz, *threads)
 	case "all":
 		err = harness.AllExperiments(os.Stdout, sz, *threads, *repeats, *runs)
 	case "validate-trace":

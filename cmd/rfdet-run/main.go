@@ -7,6 +7,7 @@
 //	rfdet-run -workload ocean -runtime rfdet-ci -threads 4 -size small
 //	rfdet-run -workload racey -runtime pthreads -repeat 5
 //	rfdet-run -workload dedup -trace | head -50
+//	rfdet-run -workload racey -racecheck
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	size := flag.String("size", "small", "problem size: test, small or medium")
 	repeat := flag.Int("repeat", 1, "number of executions (reports determinism across them)")
 	trace := flag.Bool("trace", false, "dump the deterministic synchronization schedule (rfdet only)")
+	racecheck := flag.Bool("racecheck", false, "run the happens-before race detector and print its report (rfdet only)")
 	quantum := flag.Uint64("quantum", 50000, "coredet quantum in logical instructions")
 	flag.Parse()
 
@@ -59,6 +61,7 @@ func main() {
 			opts.Monitor = core.MonitorPF
 		}
 		opts.Trace = *trace
+		opts.RaceDetect = *racecheck
 		traced = core.New(opts)
 		rt = traced
 	case "dthreads":
@@ -73,6 +76,10 @@ func main() {
 	}
 	if *trace && traced == nil {
 		fmt.Fprintln(os.Stderr, "rfdet-run: -trace requires an rfdet runtime")
+		os.Exit(2)
+	}
+	if *racecheck && traced == nil {
+		fmt.Fprintln(os.Stderr, "rfdet-run: -racecheck requires an rfdet runtime")
 		os.Exit(2)
 	}
 
@@ -93,6 +100,10 @@ func main() {
 		hashes[rep.OutputHash]++
 		if i == 0 {
 			printReport(rt.Name(), w.Name, cfg, rep)
+			if rep.Races != nil {
+				fmt.Printf("\nhappens-before race report (deterministic; hash %#016x):\n", rep.Races.Hash())
+				fmt.Print(rep.Races.String())
+			}
 			if tr != nil {
 				fmt.Printf("\ndeterministic schedule (%d events):\n", len(tr.Lines))
 				if _, err := tr.WriteTo(os.Stdout); err != nil {

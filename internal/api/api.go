@@ -15,6 +15,7 @@ package api
 import (
 	"time"
 
+	"rfdet/internal/racecheck"
 	"rfdet/internal/trace"
 )
 
@@ -162,6 +163,12 @@ type Stats struct {
 	DiffBytesScanned uint64 // snapshot bytes actually compared by slice-end diffs
 	DiffBytesSkipped uint64 // snapshot bytes skipped thanks to dirty extents
 
+	// Happens-before race detection (Options.RaceDetect). RaceRecords counts
+	// slice access footprints handed to the detector; RaceReadBytes the
+	// coalesced read-set bytes they carried. Both are deterministic.
+	RaceRecords   uint64 // slice access records given to the race detector
+	RaceReadBytes uint64 // harvested read-set bytes across those records
+
 	// Kendo internals.
 	TurnWaits uint64 // sync ops that had to wait for the deterministic turn
 
@@ -218,6 +225,8 @@ func (s *Stats) Add(other *Stats) {
 	s.DirtyExtents += other.DirtyExtents
 	s.DiffBytesScanned += other.DiffBytesScanned
 	s.DiffBytesSkipped += other.DiffBytesSkipped
+	s.RaceRecords += other.RaceRecords
+	s.RaceReadBytes += other.RaceReadBytes
 	s.TurnWaits += other.TurnWaits
 	s.MonitorAcquires += other.MonitorAcquires
 	s.DiffNanos += other.DiffNanos
@@ -271,4 +280,9 @@ type Report struct {
 	// spans never contribute to OutputHash, VirtualTime, or the deterministic
 	// trace.
 	Phases *trace.Report
+	// Races is the happens-before data-race report (nil unless the runtime
+	// ran with race detection enabled). Observational like Phases, but —
+	// unlike wall-clock spans — itself deterministic: the same program
+	// yields a byte-identical report on every run and every GOMAXPROCS.
+	Races *racecheck.Report
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/mem"
+	"rfdet/internal/slicestore"
+)
+
+// These tests back the //detvet:orderfree annotations: each exercises a loop
+// that ranges over a Go map (randomized iteration order) many times and
+// demands a canonical, order-independent outcome. Go rerandomizes map
+// iteration per range statement, so dense repetition covers many orders.
+
+// pendThread builds the minimal thread state pendSlice needs.
+func pendThread(noCoalesce bool) *thread {
+	return &thread{
+		exec:    &exec{opts: Options{NoCoalesce: noCoalesce}},
+		space:   mem.NewSpace(),
+		pending: make(map[mem.PageID]*pendEntry),
+	}
+}
+
+// materializePending flushes a thread's pending entries into a fresh space
+// and renders the touched pages canonically (ascending page ID).
+func materializePending(t *thread) string {
+	dst := mem.NewSpace()
+	ids := make([]mem.PageID, 0, len(t.pending))
+	for pid, pe := range t.pending {
+		ids = append(ids, pid)
+		if pe.patch != nil {
+			dst.ApplyPatch(pe.patch)
+		} else {
+			dst.ApplyRuns(pe.raw)
+		}
+	}
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	out := ""
+	buf := make([]byte, mem.PageSize)
+	for _, pid := range ids {
+		dst.ReadBytes(mem.PageAddr(pid), buf)
+		out += fmt.Sprintf("%d:%x;", pid, buf)
+	}
+	return out
+}
+
+// TestPendSliceOrderFree pends overlapping slices into fresh threads many
+// times: the materialized pending image and the virtual-time charge must be
+// identical regardless of the order pendSlice's per-page map range visits
+// pages, in both the coalescing and the NoCoalesce (raw append) modes.
+func TestPendSliceOrderFree(t *testing.T) {
+	mkRun := func(a uint64, b ...byte) mem.Run { return mem.Run{Addr: a, Data: b} }
+	s1 := &slicestore.Slice{Mods: []mem.Run{
+		mkRun(mem.PageAddr(3)+8, 1, 2, 3, 4),
+		mkRun(mem.PageAddr(7)+0, 9, 9),
+		mkRun(mem.PageAddr(1)+100, 5),
+		mkRun(mem.PageAddr(12)+50, 6, 7),
+		mkRun(mem.PageAddr(5)+200, 8),
+	}}
+	s2 := &slicestore.Slice{Mods: []mem.Run{
+		mkRun(mem.PageAddr(3)+10, 42, 43), // overlaps s1's page-3 run
+		mkRun(mem.PageAddr(9)+16, 11),
+		mkRun(mem.PageAddr(1)+100, 77), // overwrites s1's page-1 byte
+	}}
+	for _, noCoalesce := range []bool{false, true} {
+		var want string
+		var wantVT int64
+		for rep := 0; rep < 40; rep++ {
+			th := pendThread(noCoalesce)
+			th.pendSlice(s1)
+			th.pendSlice(s2)
+			got := materializePending(th)
+			if rep == 0 {
+				want, wantVT = got, int64(th.vt)
+				continue
+			}
+			if got != want {
+				t.Fatalf("noCoalesce=%v rep %d: pending image diverged:\n got %s\nwant %s",
+					noCoalesce, rep, got, want)
+			}
+			if int64(th.vt) != wantVT {
+				t.Fatalf("noCoalesce=%v rep %d: vt %d != %d", noCoalesce, rep, th.vt, wantVT)
+			}
+		}
+	}
+}
+
+// TestPendingResetOrderFree drives the barrier's pending drain-and-release
+// loop through the real runtime: threads accumulate lazy pending state from
+// propagation, then hit a barrier, which discards it (the re-clone makes it
+// moot). Whatever order the drain loop visits pages in, post-barrier reads
+// must see the merged image, and the whole run must stay deterministic.
+func TestPendingResetOrderFree(t *testing.T) {
+	opts := DefaultOptions() // LazyWrites on
+	const threads = 4
+	var want []uint64
+	for rep := 0; rep < 20; rep++ {
+		report := run(t, opts, func(th api.Thread) {
+			bar := api.Addr(64)
+			l := api.Addr(128)
+			arr := th.Malloc(8 * 64)
+			var ids []api.ThreadID
+			for i := 1; i < threads; i++ {
+				i := i
+				ids = append(ids, th.Spawn(func(w api.Thread) {
+					// Write a private stripe, publish via the lock (threads
+					// that later acquire pend these writes lazily)…
+					for k := 0; k < 16; k++ {
+						w.Store64(arr+api.Addr(8*(16*i+k)), uint64(1000*i+k))
+					}
+					w.Lock(l)
+					w.Unlock(l)
+					// …then discard pending state at the barrier and read
+					// everyone's stripes after it.
+					w.Barrier(bar, threads)
+					var sum uint64
+					for k := 0; k < 16*threads; k++ {
+						sum += w.Load64(arr + api.Addr(8*k))
+					}
+					w.Observe(sum)
+				}))
+			}
+			for k := 0; k < 16; k++ {
+				th.Store64(arr+api.Addr(8*k), uint64(k))
+			}
+			th.Lock(l)
+			th.Unlock(l)
+			th.Barrier(bar, threads)
+			var sum uint64
+			for k := 0; k < 16*threads; k++ {
+				sum += th.Load64(arr + api.Addr(8*k))
+			}
+			th.Observe(sum)
+			for _, id := range ids {
+				th.Join(id)
+			}
+		})
+		var got []uint64
+		for tid := 0; tid < threads; tid++ {
+			got = append(got, report.Observations[api.ThreadID(tid)]...)
+		}
+		if len(got) != threads {
+			t.Fatalf("rep %d: expected %d observations, got %v", rep, threads, got)
+		}
+		for i := 1; i < threads; i++ {
+			if got[i] != got[0] {
+				t.Fatalf("rep %d: thread %d saw sum %d, thread 0 saw %d", rep, i, got[i], got[0])
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: observations diverged: %v vs %v", rep, got, want)
+			}
+		}
+	}
+}

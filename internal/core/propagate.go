@@ -2,10 +2,10 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"rfdet/internal/mem"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/stats"
 	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -152,7 +152,7 @@ func (t *thread) applySlicesPlanned(slices []*slicestore.Slice, plan *mem.WriteP
 	if len(slices) == 0 {
 		return
 	}
-	start := time.Now()
+	start := stats.Now()
 	coalesce := plan != nil ||
 		(!t.exec.opts.NoCoalesce && len(slices) >= planCoalesceMin)
 	ownPlan := coalesce && plan == nil
@@ -190,7 +190,7 @@ func (t *thread) applySlicesPlanned(slices []*slicestore.Slice, plan *mem.WriteP
 			plan.Release()
 		}
 	}
-	el := time.Since(start)
+	el := stats.Since(start)
 	t.st.ApplyNanos += uint64(el)
 	phase := trace.PhaseApply
 	if prelock {
@@ -216,11 +216,13 @@ func (t *thread) applyPlanToSpace(plan *mem.WritePlan) {
 	for i, pp := range plan.Patches {
 		targets[i] = t.space.WritablePageData(pp.Page())
 	}
-	var wg sync.WaitGroup
+	var wg sync.WaitGroup //detvet:nativesync joins the bounded patch workers below.
 	for i := range plan.Patches {
+		//detvet:nativesync non-blocking token acquire; on saturation the patch applies inline.
 		select {
 		case e.diffSem <- struct{}{}:
 			wg.Add(1)
+			//detvet:nativesync bounded diffSem worker: patches are disjoint, reassembly is the identity.
 			go func(i int) {
 				defer wg.Done()
 				mem.ApplyPatchData(targets[i], plan.Patches[i])

@@ -23,7 +23,9 @@ import (
 	"rfdet/internal/api"
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
+	"rfdet/internal/racecheck"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/stats"
 	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -119,6 +121,14 @@ type Options struct {
 	// the deterministic trace, so every deterministic observable is
 	// bit-identical with phase tracing on or off.
 	PhaseTrace bool
+	// RaceDetect enables the happens-before data-race detector
+	// (internal/racecheck): per-slice read sets are tracked alongside the
+	// modification lists, every committed slice's access footprint is
+	// recorded, and Report.Races carries the deduplicated, deterministically
+	// ordered conflict report. Strictly observational: detection charges no
+	// virtual time and never changes outputs, virtual times or traces, so
+	// every deterministic observable is bit-identical with it on or off.
+	RaceDetect bool
 }
 
 // DefaultOptions returns the configuration used for the paper's headline
@@ -166,8 +176,13 @@ type exec struct {
 	// into Report.Phases. Observational only — never part of the
 	// deterministic surface.
 	phases *trace.Collector
+	// races is the happens-before race detector (nil unless
+	// Options.RaceDetect): slice access footprints recorded at commit time
+	// under the monitor, analyzed into Report.Races after the run. Like
+	// phases, purely observational.
+	races *racecheck.Detector
 
-	mu           sync.Mutex
+	mu           sync.Mutex //detvet:nativesync the global monitor (§4.1); every sync op serializes here under a Kendo turn.
 	threads      []*thread
 	syncvars     map[api.Addr]*syncVar
 	liveCount    int
@@ -181,7 +196,7 @@ type exec struct {
 	// a diff that cannot get a token runs inline on the owning thread.
 	diffSem chan struct{}
 
-	wg sync.WaitGroup
+	wg sync.WaitGroup //detvet:nativesync joins thread goroutines at run end; no ordering role.
 }
 
 // syncVar is an internal synchronization variable (§4.1): the runtime-side
@@ -250,10 +265,13 @@ func newExec(opts Options) *exec {
 		alloc:    alloc.New(),
 		store:    slicestore.NewStore(opts.MetadataCapacity, opts.GCThresholdPct),
 		syncvars: make(map[api.Addr]*syncVar),
-		diffSem:  make(chan struct{}, workers),
+		diffSem:  make(chan struct{}, workers), //detvet:nativesync semaphore bounding the diff worker pool; tokens carry no data.
 	}
 	if opts.PhaseTrace {
 		e.phases = trace.NewCollector()
+	}
+	if opts.RaceDetect {
+		e.races = racecheck.New()
 	}
 	return e
 }
@@ -317,7 +335,7 @@ func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
 		monitoring: false,
 		space:      mem.NewSpace(),
 		vtime:      vclock.New(1).Set(0, 1),
-		wake:       make(chan wakeEvent, 1),
+		wake:       make(chan wakeEvent, 1), //detvet:nativesync 1-buffered wake mailbox; exactly one monitor-ordered waker per sleep.
 	}
 	t0.space.SetFaultHandler(t0.onFault)
 	t0.tb = e.phases.NewThread(0)
@@ -326,11 +344,12 @@ func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
 	e.threads = append(e.threads, t0)
 	e.liveCount, e.maxLive = 1, 1
 
-	start := time.Now()
+	start := stats.Now()
 	e.wg.Add(1)
+	//detvet:nativesync thread bodies run on goroutines; determinism comes from Kendo turns, not goroutine scheduling.
 	go e.runThread(t0)
 	e.wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := stats.Since(start)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -387,7 +406,6 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 		t.exitV = t.vtime.Clone()
 	}
 	t.exitVT = t.vt
-	e.sched.Transition(func() { t.proc.SetStatus(kendo.Exited) })
 	e.liveCount--
 	for _, j := range t.joiners {
 		ev := wakeEvent{vt: vtime.Max(j.vt, t.vt)}
@@ -401,6 +419,17 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 		e.wakeLocked(j, ev)
 	}
 	t.joiners = nil
+	// The Exited flip must come AFTER the joiner wakeups: it is this
+	// thread's turn release. Flipping first opens a window in which the
+	// exiting thread is gone from the eligibility scan while its joiner is
+	// still Blocked, letting an unrelated thread with a larger clock than
+	// the about-to-wake joiner pass WaitForTurn and slip its operation in —
+	// host timing deciding the admitted order. Exiting last mirrors the
+	// other wake paths, where the waker stays Running with the minimum
+	// clock until every transition has landed (scans meanwhile see at most
+	// a superset of eligible threads, which can only delay an admission,
+	// never reorder one).
+	e.sched.Transition(func() { t.proc.SetStatus(kendo.Exited) })
 	t.tb.Finish()
 	if !e.aborted && e.liveCount > 0 && e.blockedCount == e.liveCount {
 		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked", e.liveCount))
@@ -435,6 +464,7 @@ func (e *exec) failLocked(err error) {
 	e.sched.Abort()
 	for _, t := range e.threads {
 		if t.proc.Status() == kendo.Blocked {
+			//detvet:nativesync non-blocking abort probe; abort abandons determinism guarantees by design.
 			select {
 			case t.wake <- wakeEvent{abort: true}:
 			default:
@@ -450,6 +480,7 @@ func (e *exec) failLocked(err error) {
 func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
 	e.sched.Transition(func() { t.proc.SetStatus(kendo.Running) })
 	e.blockedCount--
+	//detvet:nativesync wake handoff under the monitor; the Transition above fixed the admission order.
 	t.wake <- ev
 }
 
@@ -486,6 +517,7 @@ func (e *exec) blockSitesLocked() string {
 
 // sleep parks the thread until a wake event arrives.
 func (t *thread) sleep() wakeEvent {
+	//detvet:nativesync the only blocking receive: parks until the monitor-ordered wake event.
 	ev := <-t.wake
 	t.tb.SpanDetail(trace.PhaseBlock, t.blockStart, t.blockedOn)
 	if ev.abort {
@@ -530,8 +562,10 @@ func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
 	rep.Stats.GCCount = e.store.GCCount()
 	rep.Stats.RuntimeMemBytes = uint64(e.maxLive)*e.alloc.HighWater() + e.store.HighWater()
 	// Attached after the hash: phase spans are wall-clock observability and
-	// must never influence the deterministic output.
+	// the race report, while itself deterministic, must never influence the
+	// deterministic output.
 	rep.Phases = e.phases.Render()
+	rep.Races = e.races.Analyze()
 	return rep
 }
 

@@ -3,12 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"rfdet/internal/api"
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
+	"rfdet/internal/racecheck"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/stats"
 	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -337,7 +338,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		leader.vtime = leader.vtime.Join(a.v)
 	}
 	if len(propagated) > 0 {
-		start := time.Now()
+		start := stats.Now()
 		if e.opts.NoCoalesce || len(propagated) < planCoalesceMin {
 			for _, sl := range propagated {
 				leader.space.ApplyRuns(sl.Mods)
@@ -347,7 +348,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 			leader.applyPlanToSpace(plan)
 			plan.Release()
 		}
-		el := time.Since(start)
+		el := stats.Since(start)
 		leader.st.ApplyNanos += uint64(el)
 		leader.tb.SpanDur(trace.PhaseApply, start, el)
 	}
@@ -368,6 +369,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 		w.slicePtrs = append(w.slicePtrs[:0], leader.slicePtrs...)
 		w.vtime = w.vtime.Join(merged)
 		w.preMerged = nil
+		//detvet:orderfree drain-and-release of independent per-page entries; see TestPendingResetOrderFree.
 		for pid, pe := range w.pending {
 			if pe.patch != nil {
 				pe.patch.Release()
@@ -414,7 +416,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		space:      t.space.Clone(),
 		vtime:      tend.Clone().Set(int(id), 1),
 		vt:         t.vt + vtime.ThreadSpawn,
-		wake:       make(chan wakeEvent, 1),
+		wake:       make(chan wakeEvent, 1), //detvet:nativesync 1-buffered wake mailbox; exactly one monitor-ordered waker per sleep.
 	}
 	child.space.SetFaultHandler(child.onFault)
 	child.enableDirtyTracking()
@@ -443,6 +445,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		}
 	}
 	e.wg.Add(1)
+	//detvet:nativesync thread bodies run on goroutines; determinism comes from Kendo turns, not goroutine scheduling.
 	go e.runThread(child)
 	t.beginSlice()
 	e.syncEvent(t, "spawn", api.Addr(id))
@@ -542,6 +545,31 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 	cur := t.space.Load64(uint64(a)) // flushes lazily pended updates if any
 	newVal, wrote := op(cur)
 	t.vt += 2 * vtime.MemOp
+	if e.races != nil {
+		// The atomic access is its own Kendo-ordered micro-operation. Record
+		// it as a dedicated Atomic access (atomics are totally ordered by the
+		// arbiter and never race with each other) and keep the word's read
+		// out of the enclosing slice's read set: the slice's end clock can be
+		// concurrent with a later atomic write that this operation in fact
+		// happens-before through the word's own synchronization variable. The
+		// read tracker holds exactly this Load64 here — the previous slice
+		// was harvested by finishSlice and propagation applies bypass the
+		// tracker — so resetting it removes just the atomic read.
+		t.space.ResetReads()
+		acc := racecheck.Access{
+			Tid:    int32(t.id),
+			VT:     uint64(t.vt),
+			Clock:  t.vtime.Clone(),
+			Reads:  []racecheck.Range{{Addr: uint64(a), Len: 8}},
+			Atomic: true,
+		}
+		if wrote {
+			acc.Writes = []racecheck.Range{{Addr: uint64(a), Len: 8}}
+		}
+		t.st.RaceRecords++
+		t.st.RaceReadBytes += 8
+		e.races.Record(acc)
+	}
 	if wrote {
 		data := make([]byte, 8)
 		for i := 0; i < 8; i++ {

@@ -5,12 +5,13 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"time"
 
 	"rfdet/internal/api"
 	"rfdet/internal/kendo"
 	"rfdet/internal/mem"
+	"rfdet/internal/racecheck"
 	"rfdet/internal/slicestore"
+	"rfdet/internal/stats"
 	"rfdet/internal/trace"
 	"rfdet/internal/vclock"
 	"rfdet/internal/vtime"
@@ -59,6 +60,11 @@ type thread struct {
 	// preMerged records slices applied by a prelock pre-merge (§4.5) so the
 	// eventual acquire skips them. Nil when no pre-merge is outstanding.
 	preMerged map[*slicestore.Slice]bool
+
+	// sliceReads accumulates the current slice's harvested read ranges
+	// (Options.RaceDetect only): finishSlice drains the space's read tracker
+	// here, commitSliceLocked hands them to the detector.
+	sliceReads []racecheck.Range
 
 	// pendingSignal carries the cond-signal release record from the
 	// signaler to this waiter (set under exec.mu while the waiter sleeps).
@@ -300,6 +306,7 @@ func (t *thread) beginSlice() {
 	t.st.PageProtects += uint64(n)
 	t.vt += vtime.Time(n) * vtime.ProtectPage
 	// Pages with pended lazy modifications must fault on reads too.
+	//detvet:orderfree Protect is per-page idempotent state; iteration order is invisible.
 	for pid := range t.pending {
 		t.space.Protect(pid, mem.ProtNone)
 	}
@@ -308,11 +315,29 @@ func (t *thread) beginSlice() {
 // enableDirtyTracking turns on sub-page dirty tracking for the thread's
 // space. Called wherever a thread starts (or resumes, after a barrier
 // re-clone) monitoring modifications; a no-op under Options.FullPageDiff,
-// which forces the seed's full-page scanning.
+// which forces the seed's full-page scanning. With the race detector on it
+// also (re-)enables per-slice read-set tracking, which rides the same
+// lifecycle: a fresh or re-cloned space starts with tracking off.
 func (t *thread) enableDirtyTracking() {
 	if !t.exec.opts.FullPageDiff {
 		t.space.SetDirtyTracking(true)
 	}
+	if t.exec.races != nil {
+		t.space.SetReadTracking(true)
+	}
+}
+
+// harvestReads drains the space's per-slice read tracker into t.sliceReads
+// as absolute address ranges (Options.RaceDetect only; no-op otherwise).
+// Called at every slice end, including slices that wrote nothing.
+func (t *thread) harvestReads() {
+	if !t.space.ReadTracking() {
+		return
+	}
+	for _, pid := range t.space.ReadPages() {
+		t.sliceReads = racecheck.RangesFromExtents(t.sliceReads, pid, t.space.ReadExtentsOf(pid))
+	}
+	t.space.ResetReads()
 }
 
 // minBytesForParallelDiff is the total scan size below which fanning diff
@@ -359,11 +384,12 @@ var fullPageExtent = []mem.Extent{{Off: 0, Len: mem.PageSize}}
 // are reassembled in (snapOrder, extent) order, so the modification list is
 // identical to the sequential one.
 func (t *thread) finishSlice() *slicestore.Slice {
+	t.harvestReads()
 	if len(t.snapOrder) == 0 {
 		t.space.ResetDirty()
 		return nil
 	}
-	start := time.Now()
+	start := stats.Now()
 	useExtents := t.space.DirtyTracking() && !t.exec.opts.FullPageDiff
 	tasks := make([]diffTask, 0, len(t.snapOrder))
 	var scanBytes uint64
@@ -408,11 +434,13 @@ func (t *thread) finishSlice() *slicestore.Slice {
 		perTask[i] = mem.DiffPageExtents(tk.pid, t.snapshots[tk.pid], t.space.PageData(tk.pid), tk.exts)
 	}
 	if len(tasks) > 1 && scanBytes >= minBytesForParallelDiff && cap(t.exec.diffSem) > 1 {
-		var wg sync.WaitGroup
+		var wg sync.WaitGroup //detvet:nativesync joins the bounded diff workers below.
 		for i := range tasks {
+			//detvet:nativesync non-blocking token acquire; on saturation the diff runs inline.
 			select {
 			case t.exec.diffSem <- struct{}{}:
 				wg.Add(1)
+				//detvet:nativesync bounded diffSem worker: results reassemble in (snapOrder, extent) order.
 				go func(i int) {
 					defer wg.Done()
 					diffOne(i)
@@ -442,7 +470,7 @@ func (t *thread) finishSlice() *slicestore.Slice {
 	}
 	t.snapOrder = t.snapOrder[:0]
 	t.space.ResetDirty()
-	el := time.Since(start)
+	el := stats.Since(start)
 	t.st.DiffNanos += uint64(el)
 	t.tb.SpanDur(trace.PhaseDiff, start, el)
 	if len(mods) == 0 {
@@ -472,8 +500,40 @@ func (t *thread) commitSliceLocked(s *slicestore.Slice) vclock.VC {
 			t.exec.gcLocked()
 		}
 	}
+	if t.exec.races != nil {
+		t.recordAccessLocked(s, tend)
+	}
 	t.vtime = t.vtime.Bump(int(t.id))
 	return tend
+}
+
+// recordAccessLocked hands the just-committed slice's access footprint —
+// writes from its modification list, reads harvested by finishSlice — to the
+// race detector, stamped with the slice's pre-bump clock. Must hold exec.mu
+// (the detector is monitor-guarded); charges no virtual time.
+func (t *thread) recordAccessLocked(s *slicestore.Slice, tend vclock.VC) {
+	var writes []racecheck.Range
+	if s != nil {
+		// Mods list pages in first-write order; normalize into one sorted
+		// coalesced range list.
+		writes = racecheck.Normalize(racecheck.RangesFromRuns(s.Mods))
+	}
+	reads := racecheck.Normalize(t.sliceReads)
+	t.sliceReads = nil
+	if len(writes) == 0 && len(reads) == 0 {
+		return
+	}
+	for _, r := range reads {
+		t.st.RaceReadBytes += r.Len
+	}
+	t.st.RaceRecords++
+	t.exec.races.Record(racecheck.Access{
+		Tid:    int32(t.id),
+		VT:     uint64(t.vt),
+		Clock:  tend.Clone(),
+		Writes: writes,
+		Reads:  reads,
+	})
 }
 
 // endSliceLocked ends the current slice entirely under the monitor: diff and
@@ -513,6 +573,7 @@ func (t *thread) endSliceDropLock() vclock.VC {
 // Options.NoCoalesce they are appended raw, as the seed did.
 func (t *thread) pendSlice(s *slicestore.Slice) {
 	byPage := mem.SplitRunsByPage(s.Mods)
+	//detvet:orderfree pages are disjoint and each page's runs stay in list order; see TestPendSliceOrderFree.
 	for pid, runs := range byPage {
 		pe := t.pendEntryFor(pid)
 		if pe.patch != nil {

@@ -45,7 +45,7 @@ type traceEvent struct {
 // tracer accumulates events; its mutex only guards the append, never the
 // order.
 type tracer struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //detvet:nativesync guards only the append; event order is decided by the monitor.
 	events []traceEvent
 }
 

@@ -28,11 +28,11 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"time"
 
 	"rfdet/internal/alloc"
 	"rfdet/internal/api"
 	"rfdet/internal/mem"
+	"rfdet/internal/stats"
 	"rfdet/internal/vtime"
 )
 
@@ -189,11 +189,11 @@ func (r *Runtime) Run(main api.ThreadFunc) (*api.Report, error) {
 	e.threads = append(e.threads, t0)
 	e.active, e.live = 1, 1
 
-	start := time.Now()
+	start := stats.Now()
 	e.wg.Add(1)
 	go e.runThread(t0)
 	e.wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := stats.Since(start)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -51,6 +51,18 @@ type Test struct {
 	// DLRCRelaxed marks outcomes outside AllowedSC — evidence that DLRC is
 	// weaker than SC for racy code, as §3 argues it may be.
 	DLRCRelaxed bool
+	// Racy marks kernels containing a data race under the happens-before
+	// definition: two concurrent conflicting plain accesses. The
+	// internal/racecheck detector must report at least one race on these
+	// and exactly zero on the others.
+	Racy bool
+	// RaceInvisible marks racy kernels whose races the byte-granularity
+	// detector provably cannot see: §4.6's redundant-write exclusion drops
+	// identical or unchanged bytes from modification lists, so racing
+	// stores whose changed bytes are disjoint (byte-merge) or identical
+	// leave no overlapping footprint. These kernels must report zero races
+	// — the documented false negative of DESIGN.md §12.
+	RaceInvisible bool
 }
 
 // run executes the litmus program and renders the outcome: the registers
@@ -68,6 +80,16 @@ func run(rt api.Runtime, tst Test) (Outcome, error) {
 		regs = append(regs, rep.Observations[tid]...)
 	}
 	return outcome(regs...), nil
+}
+
+// RunReport executes the litmus once and returns the full execution report —
+// the entry point for inspecting observational artifacts (race reports,
+// stats) that Observe's outcome rendering discards.
+func RunReport(rt api.Runtime, tst Test) (*api.Report, error) {
+	return rt.Run(func(t api.Thread) {
+		vals := tst.Prog(t)
+		t.Observe(vals...)
+	})
 }
 
 // Observe runs the litmus n times and returns the distinct outcomes seen.
@@ -119,6 +141,7 @@ func Tests() []Test {
 			AllowedSC:   []Outcome{outcome(0, 0), outcome(0, 1), outcome(1, 1)},
 			DLRC:        outcome(0, 0),
 			DLRCRelaxed: false,
+			Racy:        true, // unsynchronized flag and data accesses
 		},
 		{
 			Name: "MP-locked",
@@ -173,6 +196,7 @@ func Tests() []Test {
 			AllowedSC:   []Outcome{outcome(0, 1), outcome(1, 0), outcome(1, 1)},
 			DLRC:        outcome(0, 0),
 			DLRCRelaxed: true,
+			Racy:        true, // each location: one plain writer, one plain reader
 		},
 		{
 			Name: "LB",
@@ -197,6 +221,7 @@ func Tests() []Test {
 			AllowedSC:   []Outcome{outcome(0, 0), outcome(0, 1), outcome(1, 0)},
 			DLRC:        outcome(0, 0),
 			DLRCRelaxed: false,
+			Racy:        true, // each location: one plain writer, one plain reader
 		},
 		{
 			Name: "IRIW-joined",
@@ -235,6 +260,7 @@ func Tests() []Test {
 			},
 			AllowedSC: []Outcome{outcome(1), outcome(2)},
 			DLRC:      outcome(2), // join order: t1's slice, then t2's overwrites
+			Racy:      true,       // write/write conflict on the shared word
 		},
 		{
 			Name: "atomic-MP",
@@ -276,6 +302,10 @@ func Tests() []Test {
 			AllowedSC:   []Outcome{outcome(255), outcome(256)},
 			DLRC:        outcome(511),
 			DLRCRelaxed: true,
+			Racy:        true,
+			// The racing stores change disjoint bytes of the word, so their
+			// modification lists never overlap: invisible at byte granularity.
+			RaceInvisible: true,
 		},
 	}
 }

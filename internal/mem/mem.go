@@ -107,6 +107,16 @@ type Space struct {
 	dirtyOrder  []PageID
 	lastDirtyID PageID
 	lastDirty   *dirtyPage
+
+	// Per-slice read-set tracking (reads.go): per-page loaded-byte extents,
+	// recorded on every load while trackReads is set (race detection only)
+	// and reset at slice end. Same single-entry cache trick as dirty
+	// tracking.
+	trackReads bool
+	reads      map[PageID]*readSet
+	readOrder  []PageID
+	lastReadID PageID
+	lastRead   *readSet
 }
 
 // NewSpace returns an empty address space.
@@ -127,6 +137,7 @@ func (s *Space) SetFaultHandler(h FaultHandler) { s.onFault = h }
 // thread starts monitoring).
 func (s *Space) Clone() *Space {
 	c := NewSpace()
+	//detvet:orderfree per-page Ref+insert into a fresh map commutes; see TestCloneOrderFree.
 	for id, p := range s.pages {
 		p.Ref()
 		c.pages[id] = p
@@ -138,6 +149,7 @@ func (s *Space) Clone() *Space {
 // Release drops all page references held by s. The space must not be used
 // afterwards.
 func (s *Space) Release() {
+	//detvet:orderfree per-page Unref+delete commutes; the map is discarded afterwards.
 	for id, p := range s.pages {
 		p.Unref()
 		delete(s.pages, id)
@@ -154,6 +166,7 @@ func (s *Space) ResidentBytes() uint64 { return uint64(len(s.pages)) * PageSize 
 // (copied rather than shared), the per-thread extra footprint of §5.4.
 func (s *Space) PrivateBytes() uint64 {
 	var n uint64
+	//detvet:orderfree commutative sum over pages.
 	for _, p := range s.pages {
 		if !p.Shared() {
 			n += PageSize
@@ -266,6 +279,9 @@ func (s *Space) ClearProtections() {
 func (s *Space) Load8(a uint64) uint8 {
 	id := PageOf(a)
 	s.checkFault(id, false)
+	if s.trackReads {
+		s.markRead(id, uint32(a&PageMask), 1)
+	}
 	return s.readPage(id).Data[a&PageMask]
 }
 
@@ -284,6 +300,9 @@ func (s *Space) Load32(a uint64) uint32 {
 	if a&PageMask <= PageSize-4 {
 		id := PageOf(a)
 		s.checkFault(id, false)
+		if s.trackReads {
+			s.markRead(id, uint32(a&PageMask), 4)
+		}
 		return binary.LittleEndian.Uint32(s.readPage(id).Data[a&PageMask:])
 	}
 	var buf [4]byte
@@ -312,6 +331,9 @@ func (s *Space) Load64(a uint64) uint64 {
 	if a&PageMask <= PageSize-8 {
 		id := PageOf(a)
 		s.checkFault(id, false)
+		if s.trackReads {
+			s.markRead(id, uint32(a&PageMask), 8)
+		}
 		return binary.LittleEndian.Uint64(s.readPage(id).Data[a&PageMask:])
 	}
 	var buf [8]byte
@@ -342,6 +364,9 @@ func (s *Space) ReadBytes(a uint64, buf []byte) {
 		s.checkFault(id, false)
 		off := a & PageMask
 		n := copy(buf, s.readPage(id).Data[off:])
+		if s.trackReads {
+			s.markRead(id, uint32(off), uint32(n))
+		}
 		buf = buf[n:]
 		a += uint64(n)
 	}

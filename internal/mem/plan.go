@@ -200,6 +200,7 @@ func BuildPlan(mods [][]Run) *WritePlan {
 		}
 	}
 	plan.Patches = make([]*PagePatch, 0, len(patches))
+	//detvet:orderfree Patches are sorted by page right below; UniqueBytes is a commutative sum.
 	for _, p := range patches {
 		plan.Patches = append(plan.Patches, p)
 		plan.UniqueBytes += p.UniqueBytes()

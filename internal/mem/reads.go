@@ -1,0 +1,84 @@
+package mem
+
+// Per-slice read-set tracking for the happens-before race detector
+// (internal/racecheck).
+//
+// Mirrors the dirty-write tracker (dirty.go) with one deliberate difference:
+// read pages never degrade to the chunk bitmap. Dirty extents may safely be a
+// superset of the written bytes because the slice-end diff rechecks every
+// byte, but read extents feed conflict detection directly — coarsening a read
+// to a 64-byte chunk would manufacture overlaps with writes the program never
+// observed, i.e. false races on race-free programs. Reads therefore keep the
+// precise coalescing interval list no matter how fragmented it gets; the
+// insertExtent fast path keeps sequential scans O(1) per read.
+//
+// Like dirty tracking, propagation writes and slice application are invisible
+// here: only loads issued by the owning thread through the checked access
+// path mark read extents. The tracker is harvested and reset at every slice
+// end.
+
+// readSet is one page's read set: a sorted, coalesced interval list.
+type readSet struct {
+	extents []Extent
+}
+
+// SetReadTracking enables or disables per-slice read-set tracking. Disabling
+// also discards any recorded state. Only the race detector turns this on;
+// the default path never allocates the map.
+func (s *Space) SetReadTracking(on bool) {
+	s.trackReads = on
+	if !on {
+		s.ResetReads()
+		s.reads = nil
+	} else if s.reads == nil {
+		s.reads = make(map[PageID]*readSet)
+	}
+}
+
+// ReadTracking reports whether read-set tracking is enabled.
+func (s *Space) ReadTracking() bool { return s.trackReads }
+
+// ResetReads discards all recorded read extents (slice end).
+func (s *Space) ResetReads() {
+	for id := range s.reads {
+		delete(s.reads, id)
+	}
+	s.readOrder = s.readOrder[:0]
+	s.lastReadID, s.lastRead = 0, nil
+}
+
+// ReadPages returns pages with recorded reads in first-read order. The
+// returned slice aliases internal state; do not retain it across ResetReads.
+func (s *Space) ReadPages() []PageID { return s.readOrder }
+
+// ReadExtentsOf returns page id's read extents as a sorted, coalesced,
+// gap-separated list, or nil if the page has no recorded reads. Unlike dirty
+// extents these are exact: every byte in the list was loaded by the owning
+// thread during the current slice, and no byte outside it was.
+func (s *Space) ReadExtentsOf(id PageID) []Extent {
+	r, ok := s.reads[id]
+	if !ok {
+		return nil
+	}
+	return r.extents
+}
+
+// markRead records a load of n bytes at page-local offset off. The
+// single-entry cache makes tight loops over one page skip the map lookup.
+func (s *Space) markRead(id PageID, off, n uint32) {
+	if n == 0 {
+		return
+	}
+	r := s.lastRead
+	if r == nil || s.lastReadID != id {
+		var ok bool
+		r, ok = s.reads[id]
+		if !ok {
+			r = &readSet{}
+			s.reads[id] = r
+			s.readOrder = append(s.readOrder, id)
+		}
+		s.lastReadID, s.lastRead = id, r
+	}
+	r.extents = insertExtent(r.extents, off, n)
+}

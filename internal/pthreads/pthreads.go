@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	//detvet:wallclock pthreads is the nondeterministic baseline; rand jitter emulates preemption noise.
 	"math/rand"
 	"runtime"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"rfdet/internal/alloc"
 	"rfdet/internal/api"
+	"rfdet/internal/stats"
 	"rfdet/internal/vtime"
 )
 
@@ -227,7 +229,7 @@ type thread struct {
 	// nondeterminism this baseline is supposed to exhibit. On a lightly
 	// loaded host Go goroutines are rarely preempted, so racy programs
 	// would look spuriously stable without it.
-	jitter   *rand.Rand
+	jitter   *rand.Rand //detvet:wallclock baseline jitter source; nondeterminism is this runtime's point.
 	opsSince int
 }
 
@@ -254,13 +256,14 @@ func (r *Runtime) Run(main api.ThreadFunc) (*api.Report, error) {
 	}
 	e.alloc.Register(0)
 	t0 := &thread{exec: e, id: 0, fn: main, done: make(chan struct{}),
+		//detvet:wallclock baseline jitter seed: nondeterminism is this runtime's point.
 		jitter: rand.New(rand.NewSource(time.Now().UnixNano()))}
 	e.threads = append(e.threads, t0)
-	start := time.Now()
+	start := stats.Now()
 	e.wg.Add(1)
 	go e.runThread(t0)
 	e.wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := stats.Since(start)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -518,6 +521,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	e.mu.Lock()
 	id := api.ThreadID(len(e.threads))
 	child := &thread{exec: e, id: id, fn: fn, done: make(chan struct{}), vt: t.vt + vtime.ThreadSpawn,
+		//detvet:wallclock baseline jitter seed: nondeterminism is this runtime's point.
 		jitter: rand.New(rand.NewSource(time.Now().UnixNano() + int64(id)))}
 	e.threads = append(e.threads, child)
 	e.alloc.Register(int(id))

@@ -1,0 +1,243 @@
+package racecheck
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rfdet/internal/mem"
+	"rfdet/internal/vclock"
+)
+
+func rng(addr, n uint64) Range { return Range{Addr: addr, Len: n} }
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		xs, ys, want []Range
+	}{
+		{nil, nil, nil},
+		{[]Range{rng(0, 10)}, nil, nil},
+		{[]Range{rng(0, 10)}, []Range{rng(10, 5)}, nil},                // touching, no overlap
+		{[]Range{rng(0, 10)}, []Range{rng(5, 10)}, []Range{rng(5, 5)}}, // partial
+		{[]Range{rng(0, 100)}, []Range{rng(10, 5), rng(40, 2)}, []Range{rng(10, 5), rng(40, 2)}}, // containment
+		{[]Range{rng(0, 4), rng(8, 4), rng(16, 4)}, []Range{rng(2, 8), rng(18, 10)},
+			[]Range{rng(2, 2), rng(8, 2), rng(18, 2)}}, // interleaved
+		{[]Range{rng(5, 3)}, []Range{rng(5, 3)}, []Range{rng(5, 3)}}, // identical
+	}
+	for i, c := range cases {
+		if got := Intersect(c.xs, c.ys); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: Intersect=%v, want %v", i, got, c.want)
+		}
+		// Intersection commutes.
+		if got := Intersect(c.ys, c.xs); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: reversed Intersect=%v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want []Range }{
+		{nil, nil},
+		{[]Range{rng(3, 2)}, []Range{rng(3, 2)}},
+		{[]Range{rng(10, 5), rng(0, 5)}, []Range{rng(0, 5), rng(10, 5)}},             // sort
+		{[]Range{rng(0, 5), rng(5, 5)}, []Range{rng(0, 10)}},                         // touching merge
+		{[]Range{rng(0, 8), rng(4, 2)}, []Range{rng(0, 8)}},                          // contained
+		{[]Range{rng(4, 8), rng(0, 6), rng(20, 1)}, []Range{rng(0, 12), rng(20, 1)}}, // overlap merge
+	}
+	for i, c := range cases {
+		if got := Normalize(append([]Range(nil), c.in...)); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: Normalize=%v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeAgainstBitmap property-checks Normalize against a byte bitmap.
+func TestNormalizeAgainstBitmap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var in []Range
+		var bits [256]bool
+		for i := 0; i < r.Intn(12); i++ {
+			a, n := uint64(r.Intn(200)), uint64(1+r.Intn(40))
+			in = append(in, rng(a, n))
+			for b := a; b < a+n && b < 256; b++ {
+				bits[b] = true
+			}
+		}
+		out := Normalize(in)
+		// Coverage must match the bitmap exactly, and the list must be
+		// sorted with gaps between entries.
+		var covered [256]bool
+		prevEnd := uint64(0)
+		for i, e := range out {
+			if i > 0 && e.Addr <= prevEnd {
+				t.Fatalf("trial %d: not gap-separated: %v", trial, out)
+			}
+			prevEnd = e.End()
+			for b := e.Addr; b < e.End() && b < 256; b++ {
+				covered[b] = true
+			}
+		}
+		if covered != bits {
+			t.Fatalf("trial %d: coverage mismatch for %v -> %v", trial, in, out)
+		}
+	}
+}
+
+func vc(vals ...uint64) vclock.VC { return vclock.VC(vals) }
+
+func TestAnalyzeFindsRaces(t *testing.T) {
+	d := New()
+	// Threads 1 and 2 with concurrent clocks; thread 3 ordered after both.
+	d.Record(Access{Tid: 1, VT: 100, Clock: vc(0, 5, 0, 0),
+		Writes: []Range{rng(64, 8)}, Reads: []Range{rng(128, 4)}})
+	d.Record(Access{Tid: 2, VT: 90, Clock: vc(0, 0, 5, 0),
+		Writes: []Range{rng(64, 8), rng(128, 2)}})
+	d.Record(Access{Tid: 3, VT: 200, Clock: vc(0, 6, 6, 3),
+		Writes: []Range{rng(64, 8)}}) // happens-after both: no race
+	rep := d.Analyze()
+	if rep.AccessesRecorded != 3 {
+		t.Fatalf("accesses %d", rep.AccessesRecorded)
+	}
+	if len(rep.Races) != 2 {
+		t.Fatalf("expected 2 races, got %d:\n%s", len(rep.Races), rep)
+	}
+	// Canonical order: side 1 is smaller (VT, Tid) — thread 2 at VT 90.
+	ww, rw := rep.Races[0], rep.Races[1]
+	if ww.Kind != WriteWrite || ww.Addr != 64 || ww.Len != 8 || ww.Tid1 != 2 || ww.Tid2 != 1 {
+		t.Fatalf("write/write race wrong: %+v", ww)
+	}
+	if rw.Kind != ReadWrite || rw.Addr != 128 || rw.Len != 2 || rw.Tid1 != 2 || rw.Tid2 != 1 {
+		t.Fatalf("read/write race wrong: %+v", rw)
+	}
+}
+
+func TestAnalyzeExemptions(t *testing.T) {
+	base := []Access{
+		{Tid: 1, VT: 10, Clock: vc(5, 0), Writes: []Range{rng(0, 8)}},
+		{Tid: 2, VT: 20, Clock: vc(0, 5), Writes: []Range{rng(0, 8)}},
+	}
+	// Same thread never races with itself.
+	d := New()
+	a := base[0]
+	b := base[0]
+	b.VT = 11
+	d.Record(a)
+	d.Record(b)
+	if rep := d.Analyze(); len(rep.Races) != 0 {
+		t.Fatalf("same-thread accesses raced:\n%s", rep)
+	}
+	// Ordered clocks never race.
+	d = New()
+	d.Record(Access{Tid: 1, VT: 10, Clock: vc(5, 0), Writes: []Range{rng(0, 8)}})
+	d.Record(Access{Tid: 2, VT: 20, Clock: vc(5, 5), Writes: []Range{rng(0, 8)}})
+	if rep := d.Analyze(); len(rep.Races) != 0 {
+		t.Fatalf("ordered accesses raced:\n%s", rep)
+	}
+	// Atomic/atomic is exempt; atomic/plain is not.
+	d = New()
+	a, b = base[0], base[1]
+	a.Atomic, b.Atomic = true, true
+	d.Record(a)
+	d.Record(b)
+	if rep := d.Analyze(); len(rep.Races) != 0 {
+		t.Fatalf("atomic/atomic raced:\n%s", rep)
+	}
+	d = New()
+	a.Atomic, b.Atomic = true, false
+	d.Record(a)
+	d.Record(b)
+	if rep := d.Analyze(); len(rep.Races) != 1 {
+		t.Fatalf("atomic/plain should race:\n%s", rep.String())
+	}
+	// Disjoint ranges never race.
+	d = New()
+	d.Record(Access{Tid: 1, VT: 10, Clock: vc(5, 0), Writes: []Range{rng(0, 8)}})
+	d.Record(Access{Tid: 2, VT: 20, Clock: vc(0, 5), Writes: []Range{rng(8, 8)}})
+	if rep := d.Analyze(); len(rep.Races) != 0 {
+		t.Fatalf("disjoint accesses raced:\n%s", rep)
+	}
+}
+
+// TestAnalyzeDeterministicOrder shuffles record order: the report must be
+// byte-identical regardless — the property the CI artifact depends on.
+func TestAnalyzeDeterministicOrder(t *testing.T) {
+	mk := func() []Access {
+		var accs []Access
+		for tid := int32(1); tid <= 4; tid++ {
+			clk := vc(0, 0, 0, 0, 0)
+			clk[tid] = 7
+			accs = append(accs, Access{
+				Tid: tid, VT: uint64(10 * tid), Clock: clk,
+				Writes: []Range{rng(uint64(tid)*4, 8)},
+				Reads:  []Range{rng(100, 4)},
+			})
+		}
+		return accs
+	}
+	var want string
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		accs := mk()
+		r.Shuffle(len(accs), func(i, j int) { accs[i], accs[j] = accs[j], accs[i] })
+		d := New()
+		for _, a := range accs {
+			d.Record(a)
+		}
+		rep := d.Analyze()
+		if trial == 0 {
+			want = rep.String()
+			if len(rep.Races) == 0 {
+				t.Fatal("fixture found no races")
+			}
+			continue
+		}
+		if got := rep.String(); got != want {
+			t.Fatalf("trial %d: report depends on record order:\n%s\nvs\n%s", trial, got, want)
+		}
+		if rep.Hash() != (&Report{Races: rep.Races, AccessesRecorded: rep.AccessesRecorded}).Hash() {
+			t.Fatal("hash not a pure function of contents")
+		}
+	}
+}
+
+func TestDetectorEdgeCases(t *testing.T) {
+	// Nil detector (race detection off) analyzes to nil.
+	var d *Detector
+	if d.Analyze() != nil {
+		t.Fatal("nil detector returned a report")
+	}
+	// Empty records are dropped.
+	d = New()
+	d.Record(Access{Tid: 1, VT: 1, Clock: vc(1)})
+	rep := d.Analyze()
+	if rep.AccessesRecorded != 0 || len(rep.Races) != 0 {
+		t.Fatalf("empty access recorded: %s", rep)
+	}
+	if rep.String() != "races: 0 (accesses analyzed: 0)\n" {
+		t.Fatalf("canonical empty form: %q", rep.String())
+	}
+}
+
+func TestRangeConversions(t *testing.T) {
+	runs := []mem.Run{
+		{Addr: 10, Data: []byte{1, 2, 3}},
+		{Addr: 100, Data: nil}, // empty runs dropped
+		{Addr: 200, Data: []byte{9}},
+	}
+	got := RangesFromRuns(runs)
+	want := []Range{rng(10, 3), rng(200, 1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RangesFromRuns=%v, want %v", got, want)
+	}
+	exts := []mem.Extent{{Off: 4, Len: 2}, {Off: 100, Len: 8}}
+	abs := RangesFromExtents(nil, 3, exts)
+	base := mem.PageAddr(3)
+	want = []Range{rng(base+4, 2), rng(base+100, 8)}
+	if !reflect.DeepEqual(abs, want) {
+		t.Fatalf("RangesFromExtents=%v, want %v", abs, want)
+	}
+	if RangesFromRuns(nil) != nil {
+		t.Fatal("nil runs should convert to nil")
+	}
+}

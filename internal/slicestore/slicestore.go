@@ -134,6 +134,7 @@ func (st *Store) Commit(s *Slice) (needGC bool) {
 func (st *Store) Collect(frontier vclock.VC) int {
 	st.mu.Lock()
 	var victims []*Slice
+	//detvet:orderfree victims is only summed over (Cost) and counted; membership, not order, matters. See TestCollectOrderFree.
 	for id, s := range st.slices {
 		if s.Time.Leq(frontier) {
 			victims = append(victims, s)

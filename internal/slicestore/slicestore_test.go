@@ -201,3 +201,46 @@ func TestGCThresholdRounding(t *testing.T) {
 		t.Fatal("commit below the fixed threshold must not trigger GC")
 	}
 }
+
+// TestCollectOrderFree backs Collect's //detvet:orderfree annotation: the
+// victim-selection loop ranges over the live-slice map, so its iteration
+// order is randomized — but the reclaimed count, the surviving set and the
+// usage accounting must come out identical every time.
+func TestCollectOrderFree(t *testing.T) {
+	frontier := vclock.VC{5, 5, 5}
+	var wantCount, wantLive int
+	var wantUsed uint64
+	for rep := 0; rep < 40; rep++ {
+		st := NewStore(0, 0)
+		var expectSurvive uint64
+		for i := 0; i < 24; i++ {
+			s := &Slice{
+				Tid:   int32(i % 3),
+				Mods:  []mem.Run{{Addr: uint64(i) * 64, Data: make([]byte, i+1)}},
+				Bytes: uint64(i + 1),
+			}
+			if i%2 == 0 {
+				s.Time = vclock.VC{uint64(i % 6), 1, 2} // ≤ frontier: collectable
+			} else {
+				s.Time = vclock.VC{9, uint64(i), 0} // above frontier: survives
+				expectSurvive += s.Cost()
+			}
+			st.Commit(s)
+		}
+		n := st.Collect(frontier)
+		if rep == 0 {
+			wantCount, wantLive, wantUsed = n, st.Live(), st.Used()
+			if wantCount != 12 || wantLive != 12 {
+				t.Fatalf("expected 12 collected + 12 live, got %d + %d", wantCount, wantLive)
+			}
+			if wantUsed != expectSurvive {
+				t.Fatalf("used %d != surviving cost %d", wantUsed, expectSurvive)
+			}
+			continue
+		}
+		if n != wantCount || st.Live() != wantLive || st.Used() != wantUsed {
+			t.Fatalf("rep %d: collect diverged: n=%d live=%d used=%d, want %d/%d/%d",
+				rep, n, st.Live(), st.Used(), wantCount, wantLive, wantUsed)
+		}
+	}
+}

@@ -1,8 +1,24 @@
 // Package stats provides the small numeric helpers used when aggregating
-// benchmark results (means, geometric means, normalization).
+// benchmark results (means, geometric means, normalization), plus the
+// wall-clock plumbing deterministic packages use to accumulate observability
+// nanos (Stats.DiffNanos and friends).
 package stats
 
-import "math"
+import (
+	"math"
+	"time"
+)
+
+// Now returns the current wall-clock time. Deterministic packages
+// (internal/core, internal/mem, internal/slicestore) must take wall-clock
+// readings through Now/Since rather than calling time.Now directly: the
+// detvet wallclock analyzer flags direct calls, and funneling them here makes
+// every observability-only reading auditable in one place. Wall-clock values
+// obtained this way must never feed outputs, virtual times, or traces.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock duration elapsed since t. See Now.
+func Since(t time.Time) time.Duration { return time.Since(t) }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {

@@ -90,6 +90,65 @@ func (v VC) Concurrent(w VC) bool {
 	return !v.Leq(w) && !w.Leq(v)
 }
 
+// Order is the outcome of comparing two clocks under the happens-before
+// partial order.
+type Order int8
+
+const (
+	// Same: the clocks denote the same instant.
+	Same Order = iota
+	// Before: the receiver happens-before the argument.
+	Before
+	// After: the argument happens-before the receiver.
+	After
+	// Unordered: the clocks are concurrent (incomparable).
+	Unordered
+)
+
+func (o Order) String() string {
+	switch o {
+	case Same:
+		return "same"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return "unordered"
+	}
+}
+
+// Compare classifies v against w in a single componentwise pass, equivalent
+// to (but cheaper than) probing Leq in both directions. Missing trailing
+// components compare as zero, so clocks of different lengths are comparable.
+func (v VC) Compare(w VC) Order {
+	n := len(v)
+	if len(w) > n {
+		n = len(w)
+	}
+	var less, greater bool
+	for i := 0; i < n; i++ {
+		x, y := v.Get(i), w.Get(i)
+		switch {
+		case x < y:
+			less = true
+		case x > y:
+			greater = true
+		}
+		if less && greater {
+			return Unordered
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Same
+	}
+}
+
 // Join sets v to the least upper bound v ⊔ w and returns the (possibly
 // reallocated) clock. Join is the acquire-side clock update of §4.2:
 // timestamp ⊔ Time(R).

@@ -113,6 +113,15 @@ func NewPF() Runtime {
 	return core.New(opts)
 }
 
+// NewCIRace returns RFDet-ci with the happens-before race detector enabled:
+// Report.Races carries the deterministic race report. Detection is strictly
+// observational — outputs, virtual times and traces are identical to NewCI's.
+func NewCIRace() Runtime {
+	opts := core.DefaultOptions()
+	opts.RaceDetect = true
+	return core.New(opts)
+}
+
 // NewDThreads returns the DThreads-style global-fence baseline.
 func NewDThreads() Runtime { return dthreads.New() }
 

@@ -4,9 +4,11 @@
 # Steps, in order of how fast they fail:
 #   1. gofmt      — no unformatted files
 #   2. go vet     — static checks
-#   3. go build   — everything compiles
-#   4. go test    — full suite
-#   5. race tests — the packages with real concurrency, under -race with
+#   3. detvet     — the determinism analyzer suite (tools/detvet): map
+#                   iteration order, wall-clock reads, native sync in core
+#   4. go build   — everything compiles
+#   5. go test    — full suite
+#   6. race tests — the packages with real concurrency, under -race with
 #                   GOMAXPROCS oversubscribed (the off-monitor diff/apply
 #                   windows only interleave when the host preempts)
 set -eu
@@ -23,6 +25,10 @@ fi
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> detvet (determinism analyzers)"
+go build -o bin/detvet ./tools/detvet
+go vet -vettool="$(pwd)/bin/detvet" ./...
 
 echo "==> go build ./..."
 go build ./...

@@ -136,6 +136,85 @@ func TestSeedRegressionTraces(t *testing.T) {
 	}
 }
 
+// TestSeedRegressionRaceDetectMatches is the loop-closer for happens-before
+// race detection: running the exact seed workloads with RaceDetect ON must
+// hit the exact same goldens — output, virtual time and deterministic trace
+// digest — proving read tracking and access recording never touch the
+// determinism surface. The race reports themselves must be present.
+func TestSeedRegressionRaceDetectMatches(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	opts.RaceDetect = true
+	rt := core.New(opts)
+	goldens := []struct {
+		workload             string
+		output, vtime, trace uint64
+	}{
+		{"wordcount", goldenWordcountOutput, goldenWordcountVTime, goldenWordcountTrace},
+		{"fft", goldenFFTOutput, goldenFFTVTime, goldenFFTTrace},
+	}
+	for _, g := range goldens {
+		w, err := workloads.ByName(g.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OutputHash != g.output || r.VirtualTime != g.vtime {
+			t.Fatalf("RaceDetect %s: output=%#x vtime=%d, seed output=%#x vtime=%d",
+				g.workload, r.OutputHash, r.VirtualTime, g.output, g.vtime)
+		}
+		if th := fnvString(tr.String()); th != g.trace {
+			t.Fatalf("RaceDetect %s: trace hash %#x, seed %#x — detection perturbed the schedule",
+				g.workload, th, g.trace)
+		}
+		if r.Races == nil {
+			t.Fatalf("RaceDetect %s: race report missing", g.workload)
+		}
+		if r.Stats.RaceRecords == 0 {
+			t.Fatalf("RaceDetect %s: no accesses recorded", g.workload)
+		}
+	}
+}
+
+// TestSeedRegressionTraceStabilityUnderLoad re-runs fft traced many times in
+// a tight loop and demands every trace digest equals the seed's. This is the
+// regression test for the exit/join turn-handoff race: threadExit used to
+// flip the exiting thread to Exited — which releases its deterministic turn —
+// *before* waking its joiner, leaving a window where a third thread whose
+// Kendo clock exceeded the still-Blocked joiner's could pass WaitForTurn and
+// slip its operation in. The visible symptom was the joiner's final join
+// event occasionally recording a different Kendo clock (blocked vs
+// non-blocked path), a sub-percent flake that only dense repetition exposes.
+func TestSeedRegressionTraceStabilityUnderLoad(t *testing.T) {
+	runs := 200
+	if testing.Short() {
+		runs = 20
+	}
+	opts := core.DefaultOptions()
+	opts.Trace = true
+	rt := core.New(opts)
+	w, err := workloads.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < runs; i++ {
+		r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if r.OutputHash != goldenFFTOutput || r.VirtualTime != goldenFFTVTime {
+			t.Fatalf("run %d: output=%#x vtime=%d, seed output=%#x vtime=%d",
+				i, r.OutputHash, r.VirtualTime, goldenFFTOutput, goldenFFTVTime)
+		}
+		if th := fnvString(tr.String()); th != goldenFFTTrace {
+			t.Fatalf("run %d: trace hash %#x, seed %#x — exit/join turn handoff raced", i, th, goldenFFTTrace)
+		}
+	}
+}
+
 // TestSeedRegressionFullPageDiffMatches closes the loop: the explicit
 // FullPageDiff escape hatch (which reproduces the seed's diffing verbatim)
 // must hit the same goldens — proving the goldens test the seed behavior,

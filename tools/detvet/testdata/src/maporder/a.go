@@ -1,0 +1,83 @@
+// Fixture for the maporder analyzer: positive findings carry // want
+// comments; everything else must come out clean.
+package a
+
+import "sort"
+
+type byID map[int]string
+
+func plain(s byID) {
+	for k, v := range s { // want "nondeterministic iteration over map s"
+		_, _ = k, v
+	}
+}
+
+func deleteOnly(s map[int]string) {
+	for k := range s {
+		delete(s, k)
+	}
+}
+
+func deleteOther(s, t map[int]string) {
+	for k := range s { // want "nondeterministic iteration over map s"
+		delete(t, k)
+	}
+}
+
+func collectSort(s map[int]string) []int {
+	keys := make([]int, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectSortSlice(s map[int]string) []int {
+	var keys []int
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectNoSort(s map[int]string) []int {
+	var keys []int
+	for k := range s { // want "nondeterministic iteration over map s"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotatedAbove(s map[int]string) int {
+	n := 0
+	//detvet:orderfree summing lengths is commutative.
+	for _, v := range s {
+		n += len(v)
+	}
+	return n
+}
+
+func annotatedSameLine(s map[int]string) int {
+	n := 0
+	for range s { //detvet:orderfree counting is commutative.
+		n++
+	}
+	return n
+}
+
+func bare(s map[int]bool) {
+	//detvet:orderfree // want "annotation requires a justification"
+	for k := range s { // want "nondeterministic iteration over map s"
+		_ = k
+	}
+}
+
+func sliceRangeIsFine(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+// Fixture for the nativesync analyzer.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex // want "native synchronization sync.Mutex"
+	n  int
+}
+
+func spawn(f func()) {
+	go f() // want "go statement"
+}
+
+func fanout(f func()) {
+	var wg sync.WaitGroup //detvet:nativesync joins the audited helper below.
+	wg.Add(1)
+	//detvet:nativesync helper goroutine; completion is ordered by wg.Wait.
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+func channels() int {
+	ch := make(chan int, 1) // want "channel creation"
+	ch <- 1                 // want "channel send"
+	n := <-ch               // want "channel receive"
+	close(ch)               // want "channel close"
+	return n
+}
+
+func drain(ch chan int) int {
+	n := 0
+	for v := range ch { // want "channel range"
+		n += v
+	}
+	return n
+}
+
+func selectSend(ch chan int) bool {
+	//detvet:nativesync non-blocking probe; the annotation covers the whole select.
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+//detvet:nativesync the audited wake-mailbox pattern: one buffered slot per thread.
+func mailbox() chan struct{} {
+	return make(chan struct{}, 1)
+}

@@ -1,0 +1,24 @@
+// Fixture for the wallclock analyzer.
+package a
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func sleepIsFine() {
+	time.Sleep(time.Millisecond)
+}
+
+func seeded() *rand.Rand { // want "use of rand.Rand"
+	//detvet:wallclock intentional jitter for the nondeterministic baseline.
+	return rand.New(rand.NewSource(1))
+}

@@ -1,0 +1,10 @@
+package a
+
+import (
+	//detvet:wallclock annotated import: baseline noise source.
+	mrand "math/rand"
+)
+
+func jitter() int {
+	return mrand.Intn(10) // want "use of mrand.Intn"
+}
