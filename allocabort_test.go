@@ -70,3 +70,43 @@ func TestDoubleFreeUnblocksPeers(t *testing.T) {
 		})
 	}
 }
+
+// TestZeroCountBarrierAborts pins the pre-turn abort path: Barrier with a
+// non-positive count fails before taking the deterministic turn or entering
+// any monitor domain, so the abort reaches the runtime from outside every
+// in-turn code path. The run must fail recoverably — and must unwind peers
+// blocked on locks, condvars and joins at the moment the abort lands — under
+// both the seed's single commit-monitor domain and the sharded default.
+func TestZeroCountBarrierAborts(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		opts := rfdet.DefaultOptions()
+		opts.ShardCount = shards
+		_, err := rfdet.New(opts).Run(func(th rfdet.Thread) {
+			mu, cond, bar := rfdet.Addr(64), rfdet.Addr(128), rfdet.Addr(192)
+			flag := th.Malloc(8)
+			holder := th.Spawn(func(c rfdet.Thread) {
+				c.Lock(mu)
+				for c.Load64(flag) == 0 {
+					c.Wait(cond, mu) // never signaled: main aborts first
+				}
+				c.Unlock(mu)
+			})
+			th.Spawn(func(c rfdet.Thread) {
+				c.Tick(1000)
+				c.Lock(mu) // queued behind holder forever
+				c.Unlock(mu)
+			})
+			th.Spawn(func(c rfdet.Thread) {
+				c.Join(holder) // blocked on a thread that never exits
+			})
+			th.Tick(100000) // let every peer reach its blocking point
+			th.Barrier(bar, 0)
+		})
+		if err == nil {
+			t.Fatalf("shards=%d: zero-count barrier must fail the run", shards)
+		}
+		if !strings.Contains(err.Error(), "barrier with count") {
+			t.Fatalf("shards=%d: error %q does not describe the barrier misuse", shards, err)
+		}
+	}
+}

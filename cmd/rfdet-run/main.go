@@ -30,6 +30,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "number of executions (reports determinism across them)")
 	trace := flag.Bool("trace", false, "dump the deterministic synchronization schedule (rfdet only)")
 	racecheck := flag.Bool("racecheck", false, "run the happens-before race detector and print its report (rfdet only)")
+	shards := flag.Int("shards", 0, "commit-monitor domain count, 0 = default, 1 = single global domain (rfdet only)")
 	quantum := flag.Uint64("quantum", 50000, "coredet quantum in logical instructions")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		}
 		opts.Trace = *trace
 		opts.RaceDetect = *racecheck
+		opts.ShardCount = *shards
 		traced = core.New(opts)
 		rt = traced
 	case "dthreads":
@@ -80,6 +82,10 @@ func main() {
 	}
 	if *racecheck && traced == nil {
 		fmt.Fprintln(os.Stderr, "rfdet-run: -racecheck requires an rfdet runtime")
+		os.Exit(2)
+	}
+	if *shards != 0 && traced == nil {
+		fmt.Fprintln(os.Stderr, "rfdet-run: -shards requires an rfdet runtime")
 		os.Exit(2)
 	}
 

@@ -343,3 +343,50 @@ func TestFuzzValidated(t *testing.T) {
 		}
 	}
 }
+
+// TestFuzzShardCountAgrees: the sharded commit monitor must be invisible to
+// every deterministic observable. All monitor-state mutation happens while
+// holding the deterministic turn, so splitting the monitor into per-address-
+// range domains changes which host mutex covers the residual windows, never
+// the order of any clock join — a strict equivalence like FullPageDiff and
+// NoCoalesce. Even racy programs, under either monitor, with the full
+// optimization stack, at any GOMAXPROCS, must produce bit-identical output
+// hashes AND virtual times with one domain (the seed's global monitor) or
+// four.
+func TestFuzzShardCountAgrees(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	bases := []rfdet.Options{
+		{Monitor: rfdet.MonitorCI},
+		{Monitor: rfdet.MonitorPF},
+		{Monitor: rfdet.MonitorCI, SliceMerging: true, Prelock: true, LazyWrites: true},
+		{Monitor: rfdet.MonitorPF, SliceMerging: true, Prelock: true, LazyWrites: true},
+	}
+	for seed := int64(1100); seed < 1100+int64(seeds); seed++ {
+		prog := fuzzProgram(seed, false)
+		for _, base := range bases {
+			var firstOut, firstVT uint64
+			haveFirst := false
+			for _, shards := range []int{1, 4} {
+				for _, procs := range []int{1, 2, 4, 8} {
+					old := runtime.GOMAXPROCS(procs)
+					o := base
+					o.ShardCount = shards
+					rep, err := rfdet.New(o).Run(prog)
+					runtime.GOMAXPROCS(old)
+					if err != nil {
+						t.Fatalf("seed %d opts %+v shards=%d P=%d: %v", seed, base, shards, procs, err)
+					}
+					if !haveFirst {
+						firstOut, firstVT, haveFirst = rep.OutputHash, rep.VirtualTime, true
+					} else if rep.OutputHash != firstOut || rep.VirtualTime != firstVT {
+						t.Fatalf("seed %d opts %+v shards=%d P=%d: sharding changed the result (output %#x vtime %d != %#x %d)",
+							seed, base, shards, procs, rep.OutputHash, rep.VirtualTime, firstOut, firstVT)
+					}
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfdet/internal/alloc"
@@ -70,6 +71,16 @@ type Options struct {
 	// LazyWrites enables the lazy-writes optimization (§4.5): propagated
 	// modifications are pended per page and applied on first access.
 	LazyWrites bool
+	// ShardCount is the number of commit-monitor domains the synchronization
+	// state is sharded into (see internal/core/shard.go). Sync vars map to
+	// domains by address range; hot operations lock only their domain(s),
+	// while lifecycle, barriers and GC take a global rendezvous. 0 selects
+	// the default (4); 1 reproduces the seed's single global monitor. Every
+	// deterministic observable — outputs, virtual times, traces, race
+	// reports — is bit-identical across shard counts: the deterministic turn
+	// already orders all monitor-state mutation, so sharding only changes
+	// which mutex a domain's residual windows contend on.
+	ShardCount int
 	// MetadataCapacity is the metadata-space size in bytes
 	// (default 256 MiB as in §5.4).
 	MetadataCapacity uint64
@@ -139,6 +150,7 @@ func DefaultOptions() Options {
 		SliceMerging: true,
 		Prelock:      true,
 		LazyWrites:   true,
+		ShardCount:   4,
 	}
 }
 
@@ -162,9 +174,11 @@ var errAborted = errors.New("rfdet: execution aborted")
 
 // exec is the state of one program execution: the paper's metadata space
 // (synchronization variables, the slice store, the shared allocator) plus
-// the thread table and the Kendo arbiter. Fields below mu form the monitor:
-// they may only be touched while holding mu, which a thread takes only after
-// winning the deterministic turn, so every access sequence is deterministic.
+// the thread table and the Kendo arbiter. The synchronization-variable
+// state lives in the sharded commit-monitor domains (exec.shards, see
+// shard.go); a thread mutates a domain only while holding its mutex, which
+// it takes only after winning the deterministic turn, so every access
+// sequence is deterministic.
 type exec struct {
 	opts   Options
 	sched  *kendo.Sched
@@ -182,14 +196,27 @@ type exec struct {
 	// phases, purely observational.
 	races *racecheck.Detector
 
-	mu           sync.Mutex //detvet:nativesync the global monitor (§4.1); every sync op serializes here under a Kendo turn.
-	threads      []*thread
-	syncvars     map[api.Addr]*syncVar
-	liveCount    int
-	blockedCount int
-	maxLive      int
-	aborted      bool
-	abortErr     error
+	// shards are the per-address-range commit-monitor domains. Hot sync
+	// ops lock only the domain(s) owning their variables; the global
+	// rendezvous (shard.go) locks them all plus mu.
+	shards []*monShard
+
+	// mu is the global half of the monitor: lifecycle and barrier
+	// rendezvous, GC passes, the abort path, and the thread table. It is
+	// the maximum element of the lock order — taken after any domain
+	// mutexes, and a holder never waits on anything else.
+	mu      sync.Mutex //detvet:nativesync the global monitor rendezvous (§4.1 sharded); ordered after the domain mutexes.
+	threads []*thread
+	maxLive int
+
+	// liveCount and blockedCount are atomics because the deadlock check on
+	// a hot-path block holds only that path's domain, not mu.
+	liveCount    atomic.Int64
+	blockedCount atomic.Int64
+	// aborted is atomic for the same reason: hot paths consult it at
+	// relock time while holding only their domain.
+	aborted  atomic.Bool
+	abortErr error
 
 	// diffSem bounds the worker pool that byte-diffs snapshotted pages
 	// concurrently during off-monitor slice finishing. One token per worker;
@@ -200,19 +227,25 @@ type exec struct {
 }
 
 // syncVar is an internal synchronization variable (§4.1): the runtime-side
-// object backing the application mutex/condvar/barrier at one address.
+// object backing the application mutex/condvar/barrier at one address. It
+// lives in, and is guarded by, the commit-monitor domain owning its address
+// (shardFor).
 type syncVar struct {
 	// Mutex state.
 	held  bool
 	owner api.ThreadID
-	lockQ []api.ThreadID
+	lockQ waitq[api.ThreadID]
 	// Release record: who last released the variable and when (§4.1,
-	// lastTid/lastTime), plus the release's virtual time.
+	// lastTid/lastTime), plus the release's virtual time and the owning
+	// domain's version counter at the release (Louvre-style stamp; the
+	// domain frontier covers lastTime at every version ≥ lastVer, checked
+	// by Options.Validate).
 	lastTid  int32
 	lastTime vclock.VC
 	lastVT   vtime.Time
+	lastVer  uint64
 	// Condition-variable wait queue, in deterministic wait order.
-	condQ []condEntry
+	condQ waitq[condEntry]
 	// Barrier arrivals for the current generation.
 	barArrivals []barArrival
 }
@@ -255,17 +288,28 @@ func newExec(opts Options) *exec {
 	if opts.MetadataCapacity == 0 {
 		opts.MetadataCapacity = slicestore.DefaultCapacity
 	}
+	if opts.ShardCount == 0 {
+		opts.ShardCount = DefaultOptions().ShardCount
+	}
+	if opts.ShardCount < 1 {
+		opts.ShardCount = 1
+	}
+	if opts.ShardCount > maxShards {
+		opts.ShardCount = maxShards
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8
 	}
 	e := &exec{
-		opts:     opts,
-		sched:    kendo.NewSched(),
-		alloc:    alloc.New(),
-		store:    slicestore.NewStore(opts.MetadataCapacity, opts.GCThresholdPct),
-		syncvars: make(map[api.Addr]*syncVar),
-		diffSem:  make(chan struct{}, workers), //detvet:nativesync semaphore bounding the diff worker pool; tokens carry no data.
+		opts:    opts,
+		sched:   kendo.NewSched(),
+		alloc:   alloc.New(),
+		store:   slicestore.NewStriped(opts.MetadataCapacity, opts.GCThresholdPct, opts.ShardCount),
+		diffSem: make(chan struct{}, workers), //detvet:nativesync semaphore bounding the diff worker pool; tokens carry no data.
+	}
+	for i := 0; i < opts.ShardCount; i++ {
+		e.shards = append(e.shards, &monShard{id: i, syncvars: make(map[api.Addr]*syncVar)})
 	}
 	if opts.PhaseTrace {
 		e.phases = trace.NewCollector()
@@ -274,40 +318,6 @@ func newExec(opts Options) *exec {
 		e.races = racecheck.New()
 	}
 	return e
-}
-
-// lockMonitor takes the global monitor on behalf of thread t, counting the
-// acquisition for the contention statistics and recording the wait as a
-// monitor-wait phase span (one span per acquisition, so the span count
-// reconciles with Stats.MonitorAcquires).
-func (e *exec) lockMonitor(t *thread) {
-	ts := t.tb.Now()
-	e.mu.Lock()
-	t.st.MonitorAcquires++
-	t.tb.Span(trace.PhaseMonitorWait, ts)
-}
-
-// relockMonitor retakes the monitor after an off-monitor work window opened
-// inside a turn-held operation (endSliceDropLock, deferred propagation in
-// atomicOp). If the execution aborted while the monitor was released, the
-// thread must unwind instead of continuing to mutate synchronization state —
-// in particular it must not block, because failLocked has already delivered
-// its abort wakeups.
-func (e *exec) relockMonitor(t *thread) {
-	e.lockMonitor(t)
-	if e.aborted {
-		e.mu.Unlock()
-		panic(errAborted)
-	}
-}
-
-func (e *exec) syncvar(a api.Addr) *syncVar {
-	sv, ok := e.syncvars[a]
-	if !ok {
-		sv = &syncVar{owner: -1, lastTid: -1}
-		e.syncvars[a] = sv
-	}
-	return sv
 }
 
 // Run executes main as thread 0 and returns the deterministic report.
@@ -325,9 +335,10 @@ func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
 		e.tracer = &tracer{}
 	}
 	t0 := &thread{
-		exec: e,
-		id:   0,
-		fn:   main,
+		exec:      e,
+		id:        0,
+		fn:        main,
+		lastShard: -1,
 		// The main thread does not monitor modifications until the first
 		// child thread is created (§4.1): before that, no other memory
 		// space exists to propagate to, and the first child inherits the
@@ -342,7 +353,8 @@ func (r *Runtime) RunTraced(main api.ThreadFunc) (*api.Report, *Trace, error) {
 	t0.proc = e.sched.Register(0, 0)
 	e.alloc.Register(0)
 	e.threads = append(e.threads, t0)
-	e.liveCount, e.maxLive = 1, 1
+	e.liveCount.Store(1)
+	e.maxLive = 1
 
 	start := stats.Now()
 	e.wg.Add(1)
@@ -397,26 +409,39 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 			}
 		}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.aborted {
+	e.rendezvous(t)
+	defer e.releaseRendezvous(t)
+	if !e.aborted.Load() {
 		t.flushAllPending()
 		t.exitV = t.endSliceLocked()
 	} else {
 		t.exitV = t.vtime.Clone()
 	}
 	t.exitVT = t.vt
-	e.liveCount--
+	e.liveCount.Add(-1)
 	for _, j := range t.joiners {
-		ev := wakeEvent{vt: vtime.Max(j.vt, t.vt)}
-		if !e.aborted {
-			// Perform the joiner's acquire of this exit release on its
-			// behalf (it is provably blocked): join its clocks and collect
-			// the slices it must apply once awake.
-			ev.slices = j.acquireFromCollectLocked(int32(t.id), t.exitV, t.exitVT)
-			ev.vt = j.vt
+		if e.aborted.Load() {
+			// failLocked has already delivered an abort wakeup to every
+			// blocked thread, including these joiners, so their mailboxes
+			// may be full and they may already be unwinding. A normal
+			// wakeLocked here would block on the full mailbox (or worse,
+			// hand an unwinding joiner a stale non-abort event and corrupt
+			// the blocked accounting). Probe an abort event instead, for
+			// any joiner whose mailbox the fail probe missed because it
+			// blocked after the abort landed.
+			//detvet:nativesync non-blocking abort probe; abort abandons determinism guarantees by design.
+			select {
+			case j.wake <- wakeEvent{abort: true}:
+			default:
+			}
+			continue
 		}
-		e.wakeLocked(j, ev)
+		// Perform the joiner's acquire of this exit release on its behalf
+		// (it is provably blocked): join its clocks and collect the slices
+		// it must apply once awake. The acquire advances j.vt, so the
+		// event's virtual time is read after it.
+		slices := j.acquireFromCollectLocked(int32(t.id), t.exitV, t.exitVT)
+		e.wakeLocked(j, wakeEvent{vt: j.vt, slices: slices})
 	}
 	t.joiners = nil
 	// The Exited flip must come AFTER the joiner wakeups: it is this
@@ -431,8 +456,8 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 	// never reorder one).
 	e.sched.Transition(func() { t.proc.SetStatus(kendo.Exited) })
 	t.tb.Finish()
-	if !e.aborted && e.liveCount > 0 && e.blockedCount == e.liveCount {
-		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked", e.liveCount))
+	if live := e.liveCount.Load(); !e.aborted.Load() && live > 0 && e.blockedCount.Load() == live {
+		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked", live))
 	}
 }
 
@@ -445,21 +470,24 @@ func (e *exec) syncEvent(t *thread, op string, addr api.Addr) {
 	t.tb.Mark(op, uint64(addr))
 }
 
-// fail aborts the execution with err (first error wins).
+// fail aborts the execution with err (first error wins). It takes only
+// exec.mu — never the domain mutexes, because fail is reached from inside
+// domain sections (misuse errors, the deadlock check), and the lock order
+// puts mu after the domains.
 func (e *exec) fail(err error) {
 	e.mu.Lock()
 	e.failLocked(err)
 	e.mu.Unlock()
 }
 
-// failLocked aborts under the monitor: it records the error, aborts the
-// Kendo arbiter so spinners unwind, and wakes every blocked thread with an
-// abort event.
+// failLocked aborts under exec.mu: it records the error, aborts the Kendo
+// arbiter so spinners unwind, and probes every blocked thread's mailbox
+// with an abort event.
 func (e *exec) failLocked(err error) {
-	if e.aborted {
+	if e.aborted.Load() {
 		return
 	}
-	e.aborted = true
+	e.aborted.Store(true)
 	e.abortErr = err
 	e.sched.Abort()
 	for _, t := range e.threads {
@@ -479,13 +507,24 @@ func (e *exec) failLocked(err error) {
 // observing the newly eligible thread.
 func (e *exec) wakeLocked(t *thread, ev wakeEvent) {
 	e.sched.Transition(func() { t.proc.SetStatus(kendo.Running) })
-	e.blockedCount--
-	//detvet:nativesync wake handoff under the monitor; the Transition above fixed the admission order.
-	t.wake <- ev
+	e.blockedCount.Add(-1)
+	// Non-blocking by necessity: the abort path holds only exec.mu, so
+	// failLocked can deliver an abort probe into this mailbox while the
+	// waker is inside a domain section. Each sleep has exactly one
+	// monitor-ordered waker, so the only way the 1-buffered mailbox is
+	// full is such an abort probe — in which case the sleeper unwinds on
+	// it and this event is moot.
+	//detvet:nativesync wake handoff; the Transition above fixed the admission order, and a full mailbox means an abort probe won.
+	select {
+	case t.wake <- ev:
+	default:
+	}
 }
 
 // blockLocked marks the calling thread blocked (recording the block site for
-// deadlock diagnostics) and checks for deadlock.
+// deadlock diagnostics) and checks for deadlock. The caller holds its
+// operation's domain(s) — or the rendezvous — which is what makes the
+// thread "provably blocked" to wakers in the same domain.
 func (t *thread) blockLocked(site string) {
 	e := t.exec
 	t.blockedOn = site
@@ -495,14 +534,21 @@ func (t *thread) blockLocked(site string) {
 	// the block span sleep() closes.
 	t.blockStart = t.tb.Now()
 	e.sched.Transition(func() { t.proc.SetStatus(kendo.Blocked) })
-	e.blockedCount++
-	if e.blockedCount == e.liveCount {
-		e.failLocked(fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked: %s", e.liveCount, e.blockSitesLocked()))
+	if b := e.blockedCount.Add(1); b == e.liveCount.Load() {
+		err := fmt.Errorf("rfdet: deterministic deadlock: all %d live threads blocked: %s", b, e.blockSites())
+		if t.holdsGlobal {
+			e.failLocked(err)
+		} else {
+			e.fail(err)
+		}
 	}
 }
 
-// blockSitesLocked describes where each blocked thread is stuck.
-func (e *exec) blockSitesLocked() string {
+// blockSites describes where each blocked thread is stuck. The caller
+// holds at least one domain mutex (or the rendezvous), which excludes the
+// Spawn rendezvous and so pins e.threads; the blockedOn strings it reads
+// were published before each thread's status flipped to Blocked.
+func (e *exec) blockSites() string {
 	s := ""
 	for _, t := range e.threads {
 		if t.proc.Status() == kendo.Blocked {
@@ -556,6 +602,11 @@ func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
 	put(e.threads[0].space.Hash())
 	rep.OutputHash = h.Sum64()
 
+	rep.Stats.MonitorShards = uint64(len(e.shards))
+	for _, sh := range e.shards {
+		rep.Stats.ShardReleases += sh.releases
+		rep.Stats.CrossShardAcquires += sh.crossAcquires
+	}
 	rep.Stats.SharedMemBytes = e.alloc.HighWater()
 	rep.Stats.MetadataBytes = e.store.HighWater()
 	rep.Stats.MetadataCapacity = e.store.Capacity()

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"rfdet/internal/api"
+)
+
+// crossShardChainProg builds a lock-handoff chain whose happens-before edges
+// cross commit-monitor domains: A publishes x under m0 (one domain), B
+// acquires m0, derives y from x and publishes both under m1 (a different
+// domain), and C acquires only m1 — so C's view of x depends on the
+// transitive edge A --m0--> B --m1--> C carrying A's modifications across a
+// domain boundary. The generous ticks pin the admission order so the chain
+// is the only schedule.
+func crossShardChainProg(m0, m1 api.Addr) api.ThreadFunc {
+	return func(th api.Thread) {
+		x := th.Malloc(8)
+		y := th.Malloc(8)
+
+		// Touch both mutexes once so each carries a release record before
+		// the chain runs: a cross-domain acquire is only counted when it
+		// joins an existing record, so without this B's first Lock(m1)
+		// would find a fresh sync var and no edge to cross.
+		th.Lock(m0)
+		th.Unlock(m0)
+		th.Lock(m1)
+		th.Unlock(m1)
+
+		a := th.Spawn(func(c api.Thread) {
+			c.Tick(100)
+			c.Lock(m0)
+			c.Store64(x, 1)
+			c.Unlock(m0)
+		})
+		b := th.Spawn(func(c api.Thread) {
+			c.Tick(10000)
+			c.Lock(m0)
+			v := c.Load64(x)
+			c.Unlock(m0)
+			c.Lock(m1)
+			c.Store64(y, v+1)
+			c.Unlock(m1)
+		})
+		cc := th.Spawn(func(c api.Thread) {
+			c.Tick(100000)
+			c.Lock(m1) // never touches m0's domain
+			c.Observe(c.Load64(x), c.Load64(y))
+			c.Unlock(m1)
+		})
+
+		th.Join(a)
+		th.Join(b)
+		th.Join(cc)
+		th.Observe(th.Load64(x), th.Load64(y))
+	}
+}
+
+// TestCrossShardLockHandoffChain verifies the transitive happens-before
+// chain across domains, and that the domain bookkeeping noticed it: with
+// four shards, m0 = 64 and m1 = 192 live in different domains, so B's and
+// C's acquires must be counted as cross-domain and every release must be
+// stamped by a domain frontier.
+func TestCrossShardLockHandoffChain(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShardCount = 4
+	opts.Validate = true
+	m0, m1 := api.Addr(64), api.Addr(192)
+	rep := run(t, opts, crossShardChainProg(m0, m1))
+
+	if got := rep.Observations[3]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("C observed %v, want [1 2]: A's write did not cross the domain boundary", got)
+	}
+	if got := rep.Observations[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("main observed %v, want [1 2]", got)
+	}
+	if rep.Stats.MonitorShards != 4 {
+		t.Fatalf("MonitorShards = %d, want 4", rep.Stats.MonitorShards)
+	}
+	if rep.Stats.ShardReleases == 0 {
+		t.Fatal("no release was stamped by a domain frontier")
+	}
+	if rep.Stats.CrossShardAcquires == 0 {
+		t.Fatal("the chain crosses domains but CrossShardAcquires = 0")
+	}
+	if rep.Stats.RendezvousOps == 0 {
+		t.Fatal("spawn/join/exit should have used the global rendezvous")
+	}
+}
+
+// TestShardCountInvariance runs the chain at every interesting shard count —
+// including 0 (defaulted), 1 (the seed's single global domain), a count that
+// does not divide the address range pattern, and the maximum — and requires
+// bit-identical deterministic observables throughout.
+func TestShardCountInvariance(t *testing.T) {
+	m0, m1 := api.Addr(64), api.Addr(192)
+	var wantHash uint64
+	var wantVT uint64
+	for _, n := range []int{0, 1, 3, 4, 64, 1000} {
+		opts := DefaultOptions()
+		opts.ShardCount = n
+		opts.Validate = true
+		rep := run(t, opts, crossShardChainProg(m0, m1))
+		if wantHash == 0 {
+			wantHash, wantVT = rep.OutputHash, rep.VirtualTime
+			continue
+		}
+		if rep.OutputHash != wantHash || rep.VirtualTime != wantVT {
+			t.Fatalf("ShardCount=%d: output=%#x vtime=%d differ from ShardCount-0 baseline output=%#x vtime=%d",
+				n, rep.OutputHash, rep.VirtualTime, wantHash, wantVT)
+		}
+	}
+}
+
+// TestSingleShardHasNoCrossAcquires: with one domain every acquire is local,
+// so the cross-domain counter must stay zero and the configured count must
+// be echoed back.
+func TestSingleShardHasNoCrossAcquires(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShardCount = 1
+	rep := run(t, opts, crossShardChainProg(api.Addr(64), api.Addr(192)))
+	if rep.Stats.MonitorShards != 1 {
+		t.Fatalf("MonitorShards = %d, want 1", rep.Stats.MonitorShards)
+	}
+	if rep.Stats.CrossShardAcquires != 0 {
+		t.Fatalf("CrossShardAcquires = %d with a single domain", rep.Stats.CrossShardAcquires)
+	}
+}

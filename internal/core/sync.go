@@ -21,16 +21,25 @@ import (
 //
 //	turn()                    — win the deterministic Kendo turn
 //	finishSlice()             — OFF-monitor: byte-diff the snapshotted pages
-//	lockMonitor()             — enter the global monitor
+//	lockShard()               — enter the variable's commit-monitor domain
 //	  commitSliceLocked()     — publish the slice, bump the clock
-//	  ...collect/queue/wake   — mutate monitor-guarded state
+//	  ...collect/queue/wake   — mutate domain-guarded state
 //	unlock
 //	applySlices()             — OFF-monitor: absorb propagated runs
+//
+// Hot operations lock only the domain(s) owning their variables (shard.go):
+// Lock, Unlock and atomics one domain; Wait the mutex's and the condvar's
+// (ascending); Signal/Broadcast the condvar's plus the woken waiters'
+// mutexes'. Lifecycle operations — Spawn, Join, Barrier, thread exit — take
+// the global rendezvous instead, because they mutate cross-domain state
+// (the thread table, blocked arrivals' spaces).
 //
 // Holding the turn makes the off-monitor windows safe: every mutation of
 // monitor-guarded synchronization state happens under the turn, so nothing a
 // thread observed under the monitor can change while it diffs or applies
-// outside it.
+// outside it. The same argument is why sharding preserves every
+// deterministic observable: the turn, not the mutex, is what orders the
+// state mutations.
 //
 // Wakeups never re-enter the monitor at all: the waker — which holds the
 // turn and the monitor while the sleeper is provably blocked — performs the
@@ -72,24 +81,25 @@ func (t *thread) finishOpLocked() {
 func (t *thread) Lock(m api.Addr) {
 	t.turn()
 	e := t.exec
-	e.lockMonitor(t)
+	sh := e.shardFor(m)
+	e.lockShard(t, sh)
 	t.st.Locks++
-	sv := e.syncvar(m)
+	sv := sh.syncvar(m)
 
 	if sv.held {
 		if sv.owner == t.id {
-			e.failLocked(fmt.Errorf("rfdet: thread %d: recursive lock of mutex %#x", t.id, uint64(m)))
-			e.mu.Unlock()
+			e.fail(fmt.Errorf("rfdet: thread %d: recursive lock of mutex %#x", t.id, uint64(m)))
+			sh.mu.Unlock()
 			panic(errAborted)
 		}
 		// Contended: end the slice, reserve our place in the deterministic
 		// grant queue, pre-merge (prelock, §4.5), and sleep.
-		t.endSliceDropLock()
-		sv.lockQ = append(sv.lockQ, t.id)
+		t.endSliceDropShard(sh)
+		sv.lockQ.push(t.id)
 		t.prelockLocked(sv)
 		t.blockLocked(fmt.Sprintf("lock %#x", uint64(m)))
 		t.finishOpLocked()
-		e.mu.Unlock()
+		sh.mu.Unlock()
 
 		// The releaser hands us ownership with the acquire already done
 		// (prepareAcquireLocked); nothing below touches shared state.
@@ -110,29 +120,28 @@ func (t *thread) Lock(m api.Addr) {
 		t.st.SlicesMerged++
 		e.syncEvent(t, "lock*", m)
 		t.finishOpLocked()
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	t.endSliceDropLock()
-	slices := t.acquireCollectLocked(sv)
+	t.endSliceDropShard(sh)
+	slices := t.acquireCollectLocked(sh, sv)
 	t.beginSlice()
 	e.syncEvent(t, "lock", m)
 	t.finishOpLocked()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	t.applySlices(slices, false)
 }
 
 // handoffLocked grants a released mutex to the head of its queue: the
 // remaining waiters pre-merge the release in parallel with the new holder's
 // critical section (prelock, §4.5), and the new holder is woken with its
-// acquire pre-collected.
-func (e *exec) handoffLocked(sv *syncVar, releaser *thread) {
-	next := sv.lockQ[0]
-	sv.lockQ = sv.lockQ[1:]
+// acquire pre-collected. Caller holds the mutex's domain.
+func (e *exec) handoffLocked(sh *monShard, sv *syncVar, releaser *thread) {
+	next := sv.lockQ.pop()
 	sv.owner = next
 	e.prelockReleaseLocked(sv, releaser)
 	w := e.threads[next]
-	e.wakeLocked(w, e.prepareAcquireLocked(w, sv, releaser.vt))
+	e.wakeLocked(w, e.prepareAcquireLocked(w, sh, sv, releaser.vt))
 }
 
 // Unlock implements pthread_mutex_unlock (§4.1): a release that records
@@ -141,18 +150,19 @@ func (t *thread) Unlock(m api.Addr) {
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	sh := e.shardFor(m)
+	e.lockShard(t, sh)
 	t.st.Unlocks++
-	sv := e.syncvar(m)
+	sv := sh.syncvar(m)
 	if !sv.held || sv.owner != t.id {
-		e.failLocked(fmt.Errorf("rfdet: thread %d: unlock of mutex %#x not held by it", t.id, uint64(m)))
-		e.mu.Unlock()
+		e.fail(fmt.Errorf("rfdet: thread %d: unlock of mutex %#x not held by it", t.id, uint64(m)))
+		sh.mu.Unlock()
 		panic(errAborted)
 	}
 	tend := t.commitSliceLocked(s)
-	t.releaseLocked(sv, tend)
-	if len(sv.lockQ) > 0 {
-		e.handoffLocked(sv, t)
+	t.releaseLocked(sh, sv, tend)
+	if sv.lockQ.len() > 0 {
+		e.handoffLocked(sh, sv, t)
 	} else {
 		sv.held = false
 		sv.owner = -1
@@ -160,15 +170,19 @@ func (t *thread) Unlock(m api.Addr) {
 	t.beginSlice()
 	e.syncEvent(t, "unlock", m)
 	t.finishOpLocked()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // releaseLocked records this thread as the variable's last releaser, with
-// the just-ended slice's timestamp as the release time.
-func (t *thread) releaseLocked(sv *syncVar, tend vclock.VC) {
+// the just-ended slice's timestamp as the release time, stamped with the
+// owning domain's next release version (the Louvre-style counter that
+// orders cross-domain acquires; shard.go).
+func (t *thread) releaseLocked(sh *monShard, sv *syncVar, tend vclock.VC) {
 	sv.lastTid = int32(t.id)
 	sv.lastTime = tend
 	sv.lastVT = t.vt
+	sv.lastVer = sh.stampRelease(tend)
+	t.lastShard = int32(sh.id)
 }
 
 // Wait implements pthread_cond_wait: a release of the mutex and of the wait
@@ -178,12 +192,16 @@ func (t *thread) Wait(c, m api.Addr) {
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	// Wait touches two variables — the mutex and the condvar — whose
+	// domains may differ; take both (ascending, deduplicated).
+	set := t.shardSet(m, c)
+	e.lockShardSet(t, set)
+	shm := e.shardFor(m)
 	t.st.Waits++
-	svm := e.syncvar(m)
+	svm := shm.syncvar(m)
 	if !svm.held || svm.owner != t.id {
-		e.failLocked(fmt.Errorf("rfdet: thread %d: cond wait with mutex %#x not held", t.id, uint64(m)))
-		e.mu.Unlock()
+		e.fail(fmt.Errorf("rfdet: thread %d: cond wait with mutex %#x not held", t.id, uint64(m)))
+		unlockShardSet(set)
 		panic(errAborted)
 	}
 	tend := t.commitSliceLocked(s)
@@ -192,20 +210,20 @@ func (t *thread) Wait(c, m api.Addr) {
 	// pthread_cond_wait is a release like any other, and skipping the
 	// pre-merge here silently lost the §4.5 overlap on condvar-heavy
 	// workloads.
-	t.releaseLocked(svm, tend)
-	if len(svm.lockQ) > 0 {
-		e.handoffLocked(svm, t)
+	t.releaseLocked(shm, svm, tend)
+	if svm.lockQ.len() > 0 {
+		e.handoffLocked(shm, svm, t)
 	} else {
 		svm.held = false
 		svm.owner = -1
 	}
 	// Queue on the condition variable, in deterministic order.
-	svc := e.syncvar(c)
-	svc.condQ = append(svc.condQ, condEntry{tid: t.id, mutex: m})
+	svc := e.shardFor(c).syncvar(c)
+	svc.condQ.push(condEntry{tid: t.id, mutex: m})
 	e.syncEvent(t, "wait", c)
 	t.blockLocked(fmt.Sprintf("cond wait %#x (mutex %#x)", uint64(c), uint64(m)))
 	t.finishOpLocked()
-	e.mu.Unlock()
+	unlockShardSet(set)
 
 	// We are woken only once we own the mutex again (the signaler either
 	// granted it directly or queued us on it); whoever handed the mutex
@@ -234,28 +252,51 @@ func (t *thread) signal(c api.Addr, all bool) {
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	shc := e.shardFor(c)
+	// The woken waiters' mutexes may live in other domains; assemble the
+	// full ascending domain set before locking. Peeking the condvar's wait
+	// queue without its mutex is safe because we hold the deterministic
+	// turn: every mutation of domain state happens under the turn, so the
+	// queue cannot change between the peek and the locked pops below.
+	set := t.shardScratch[:0]
+	set = insertShard(set, shc)
+	if svc, ok := shc.syncvars[c]; ok {
+		n := svc.condQ.len()
+		if !all && n > 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			set = insertShard(set, e.shardFor(svc.condQ.at(i).mutex))
+		}
+	}
+	t.shardScratch = set
+	e.lockShardSet(t, set)
 	t.st.Signals++
 	tend := t.commitSliceLocked(s)
-	svc := e.syncvar(c)
+	svc := shc.syncvar(c)
 	n := 1
 	if all {
-		n = len(svc.condQ)
+		n = svc.condQ.len()
 	}
-	for i := 0; i < n && len(svc.condQ) > 0; i++ {
-		entry := svc.condQ[0]
-		svc.condQ = svc.condQ[1:]
+	for i := 0; i < n && svc.condQ.len() > 0; i++ {
+		entry := svc.condQ.pop()
 		w := e.threads[entry.tid]
 		w.pendingSignal = &signalRecord{tid: int32(t.id), v: tend, vt: t.vt}
-		svm := e.syncvar(entry.mutex)
+		shm := e.shardFor(entry.mutex)
+		svm := shm.syncvar(entry.mutex)
 		if svm.held {
-			svm.lockQ = append(svm.lockQ, entry.tid)
+			svm.lockQ.push(entry.tid)
 		} else {
 			svm.held = true
 			svm.owner = entry.tid
-			e.wakeLocked(w, e.prepareAcquireLocked(w, svm, t.vt))
+			e.wakeLocked(w, e.prepareAcquireLocked(w, shm, svm, t.vt))
 		}
 	}
+	// A signal is a release: stamp it on the condvar's domain so the
+	// Louvre invariant (the stamping domain's frontier covers every
+	// release timestamp an acquire can join) holds for cond wakeups too.
+	shc.stampRelease(tend)
+	t.lastShard = int32(shc.id)
 	t.beginSlice()
 	if all {
 		e.syncEvent(t, "broadcast", c)
@@ -263,7 +304,7 @@ func (t *thread) signal(c api.Addr, all bool) {
 		e.syncEvent(t, "signal", c)
 	}
 	t.finishOpLocked()
-	e.mu.Unlock()
+	unlockShardSet(set)
 }
 
 // Barrier implements a pthreads-style barrier (§4.1): both an acquire and a
@@ -275,22 +316,34 @@ func (t *thread) signal(c api.Addr, all bool) {
 // acquire paths it runs entirely under the lock.
 func (t *thread) Barrier(b api.Addr, n int) {
 	if n <= 0 {
+		// Pre-turn failure: no turn is held and no monitor is entered, so
+		// this abort reaches failLocked from outside the usual in-turn
+		// paths. That is safe by construction — failLocked takes only
+		// exec.mu, flips the Kendo abort flag (unwinding spinners), and
+		// probes every Blocked thread's mailbox — and the unwind below
+		// goes through threadExit's abnormal path, which performs the
+		// rendezvous itself. TestZeroCountBarrierAborts exercises exactly
+		// this: peers blocked on locks, condvars and joins when the
+		// pre-turn abort lands.
 		t.exec.fail(fmt.Errorf("rfdet: thread %d: barrier with count %d", t.id, n))
 		panic(errAborted)
 	}
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	// Barriers take the global rendezvous: the last arrival merges into —
+	// and re-clones — the *blocked* arrivals' spaces, state no single
+	// domain guards.
+	e.rendezvous(t)
 	t.st.Barriers++
 	tend := t.commitSliceLocked(s)
 	t.flushAllPending()
-	sv := e.syncvar(b)
+	sv := e.shardFor(b).syncvar(b)
 	sv.barArrivals = append(sv.barArrivals, barArrival{tid: t.id, v: tend, vt: t.vt})
 	if len(sv.barArrivals) < n {
 		t.blockLocked(fmt.Sprintf("barrier %#x (%d/%d)", uint64(b), len(sv.barArrivals), n))
 		t.finishOpLocked()
-		e.mu.Unlock()
+		e.releaseRendezvous(t)
 		// The last arrival merges on our behalf and hands us the merged
 		// memory; nothing after the wake touches shared state.
 		ev := t.sleep()
@@ -388,7 +441,7 @@ func (t *thread) Barrier(b api.Addr, n int) {
 	t.beginSlice()
 	e.syncEvent(t, "barrier", b)
 	t.finishOpLocked()
-	e.mu.Unlock()
+	e.releaseRendezvous(t)
 }
 
 // Spawn implements pthread_create (§4.1): a release. The child inherits the
@@ -401,7 +454,8 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	// commutes with the flush below.
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	// Spawn mutates the thread table and live accounting: rendezvous.
+	e.rendezvous(t)
 	t.st.Forks++
 	// Lazily pended updates must be resident before the memory is cloned.
 	t.flushAllPending()
@@ -413,6 +467,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 		id:         id,
 		fn:         fn,
 		monitoring: true,
+		lastShard:  -1,
 		space:      t.space.Clone(),
 		vtime:      tend.Clone().Set(int(id), 1),
 		vt:         t.vt + vtime.ThreadSpawn,
@@ -431,9 +486,8 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	child.tb = e.phases.NewThread(int(id))
 	e.alloc.Register(int(id))
 	e.threads = append(e.threads, child)
-	e.liveCount++
-	if e.liveCount > e.maxLive {
-		e.maxLive = e.liveCount
+	if live := int(e.liveCount.Add(1)); live > e.maxLive {
+		e.maxLive = live
 	}
 	// From the first fork on, the main thread must monitor its
 	// modifications (§4.1).
@@ -450,7 +504,7 @@ func (t *thread) Spawn(fn api.ThreadFunc) api.ThreadID {
 	t.beginSlice()
 	e.syncEvent(t, "spawn", api.Addr(id))
 	t.finishOpLocked()
-	e.mu.Unlock()
+	e.releaseRendezvous(t)
 	return id
 }
 
@@ -460,16 +514,18 @@ func (t *thread) Join(id api.ThreadID) {
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	// Join synchronizes with threadExit's rendezvous: the joiner list and
+	// exit records are lifecycle state, not domain state.
+	e.rendezvous(t)
 	t.st.Joins++
 	if id < 0 || int(id) >= len(e.threads) {
 		e.failLocked(fmt.Errorf("rfdet: thread %d: join of unknown thread %d", t.id, id))
-		e.mu.Unlock()
+		e.releaseRendezvous(t)
 		panic(errAborted)
 	}
 	if id == t.id {
 		e.failLocked(fmt.Errorf("rfdet: thread %d: join of itself", t.id))
-		e.mu.Unlock()
+		e.releaseRendezvous(t)
 		panic(errAborted)
 	}
 	target := e.threads[id]
@@ -478,7 +534,7 @@ func (t *thread) Join(id api.ThreadID) {
 		target.joiners = append(target.joiners, t)
 		t.blockLocked(fmt.Sprintf("join of thread %d", id))
 		t.finishOpLocked()
-		e.mu.Unlock()
+		e.releaseRendezvous(t)
 		// The exiting thread performs our acquire of its exit release
 		// (threadExit) and hands us the slices to apply.
 		ev := t.sleep()
@@ -493,7 +549,7 @@ func (t *thread) Join(id api.ThreadID) {
 	t.beginSlice()
 	e.syncEvent(t, "join", api.Addr(id))
 	t.finishOpLocked()
-	e.mu.Unlock()
+	e.releaseRendezvous(t)
 	t.applySlices(slices, false)
 }
 
@@ -528,19 +584,20 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 	t.turn()
 	s := t.finishSlice()
 	e := t.exec
-	e.lockMonitor(t)
+	sh := e.shardFor(a)
+	e.lockShard(t, sh)
 	t.st.AtomicsOps++
-	sv := e.syncvar(a)
+	sv := sh.syncvar(a)
 	t.commitSliceLocked(s)
-	slices := t.acquireCollectLocked(sv)
+	slices := t.acquireCollectLocked(sh, sv)
 	if len(slices) > 0 {
 		// The acquired updates must be resident before the word is read, but
 		// applying them touches only this thread's private space: drop the
-		// monitor around the application like any other acquire path. The
+		// domain around the application like any other acquire path. The
 		// turn is still held, so the monitor state cannot shift meanwhile.
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		t.applySlices(slices, false)
-		e.relockMonitor(t)
+		e.relockShard(t, sh)
 	}
 	cur := t.space.Load64(uint64(a)) // flushes lazily pended updates if any
 	newVal, wrote := op(cur)
@@ -585,15 +642,13 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 		}
 		t.st.SlicesCreated++
 		t.slicePtrs = append(t.slicePtrs, micro)
-		if e.store.Commit(micro) {
-			e.gcLocked()
-		}
+		e.maybeGC(t, e.store.Commit(micro))
 		tend := t.vtime.Clone()
 		t.vtime = t.vtime.Bump(int(t.id))
-		t.releaseLocked(sv, tend)
+		t.releaseLocked(sh, sv, tend)
 	}
 	t.beginSlice()
 	e.syncEvent(t, "atomic", a)
 	t.finishOpLocked()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 }

@@ -20,13 +20,24 @@ import (
 // thread is one logical DMT thread: a private address space, a DLRC vector
 // clock, the slice-pointer list of §4.3, and the current slice's monitoring
 // state. A thread struct is mutated by its own goroutine, or — for the
-// fields below the exec monitor — by other threads holding exec.mu while
-// this thread is provably blocked (lock grant, barrier merge).
+// monitor-guarded fields — by other threads holding the relevant
+// commit-monitor domain (or the rendezvous) while this thread is provably
+// blocked (lock grant, barrier merge).
 type thread struct {
 	exec *exec
 	id   api.ThreadID
 	fn   api.ThreadFunc
 	proc *kendo.Proc
+
+	// lastShard is the id of the commit-monitor domain of this thread's
+	// most recent release or variable acquire, -1 before the first
+	// (cross-domain acquire accounting; shard.go). holdsGlobal marks that
+	// the thread currently holds the global rendezvous, which routes GC
+	// requests straight to gcLocked. shardScratch is the reusable buffer
+	// behind shardSet.
+	lastShard    int32
+	holdsGlobal  bool
+	shardScratch []*monShard
 
 	// space is the thread's private view of shared memory.
 	space *mem.Space
@@ -178,7 +189,7 @@ func (t *thread) pendEntryFor(pid mem.PageID) *pendEntry {
 // takeSnapshot copies the page into the metadata space (Figure 4, lines
 // 5-7).
 func (t *thread) takeSnapshot(pid mem.PageID) {
-	t.exec.store.AllocSnapshot()
+	t.exec.store.AllocSnapshot(int(t.id))
 	if t.snapshots == nil {
 		t.snapshots = make(map[mem.PageID][]byte)
 	}
@@ -462,7 +473,7 @@ func (t *thread) finishSlice() *slicestore.Slice {
 		mods = append(mods, perTask[i]...)
 	}
 	for _, pid := range t.snapOrder {
-		t.exec.store.FreeSnapshot()
+		t.exec.store.FreeSnapshot(int(t.id))
 		t.vt += vtime.DiffPage
 		// The diff has consumed the snapshot; recycle its pooled buffer.
 		mem.PutPageBuf(t.snapshots[pid])
@@ -496,9 +507,7 @@ func (t *thread) commitSliceLocked(s *slicestore.Slice) vclock.VC {
 	if s != nil {
 		t.st.SlicesCreated++
 		t.slicePtrs = append(t.slicePtrs, s)
-		if t.exec.store.Commit(s) {
-			t.exec.gcLocked()
-		}
+		t.exec.maybeGC(t, t.exec.store.Commit(s))
 	}
 	if t.exec.races != nil {
 		t.recordAccessLocked(s, tend)
@@ -509,8 +518,11 @@ func (t *thread) commitSliceLocked(s *slicestore.Slice) vclock.VC {
 
 // recordAccessLocked hands the just-committed slice's access footprint —
 // writes from its modification list, reads harvested by finishSlice — to the
-// race detector, stamped with the slice's pre-bump clock. Must hold exec.mu
-// (the detector is monitor-guarded); charges no virtual time.
+// race detector, stamped with the slice's pre-bump clock. Always reached
+// turn-held (commits happen only under the deterministic turn), which is
+// what serializes and orders detector mutations now that commits from
+// different monitor domains no longer share a mutex; charges no virtual
+// time.
 func (t *thread) recordAccessLocked(s *slicestore.Slice, tend vclock.VC) {
 	var writes []racecheck.Range
 	if s != nil {
@@ -545,19 +557,20 @@ func (t *thread) endSliceLocked() vclock.VC {
 	return t.commitSliceLocked(t.finishSlice())
 }
 
-// endSliceDropLock ends the current slice from within a monitor section by
-// dropping the monitor around the page diffing, then retaking it to commit.
-// Safe because the caller holds the deterministic turn: every mutation of
-// monitor-guarded synchronization state happens under the turn, so the state
-// the caller was looking at cannot change while the monitor is released.
-func (t *thread) endSliceDropLock() vclock.VC {
+// endSliceDropShard ends the current slice from within a domain section by
+// dropping the domain mutex around the page diffing, then retaking it to
+// commit. Safe because the caller holds the deterministic turn: every
+// mutation of monitor-guarded synchronization state happens under the turn,
+// so the state the caller was looking at cannot change while the domain is
+// released.
+func (t *thread) endSliceDropShard(sh *monShard) vclock.VC {
 	if len(t.snapOrder) == 0 {
 		return t.endSliceLocked()
 	}
 	e := t.exec
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	s := t.finishSlice()
-	e.relockMonitor(t)
+	e.relockShard(t, sh)
 	return t.commitSliceLocked(s)
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"rfdet/internal/mem"
+	"rfdet/internal/stats"
 	"rfdet/internal/vclock"
 )
 
@@ -56,22 +57,40 @@ const (
 // atomics, so snapshot bookkeeping — AllocSnapshot on the store path of a
 // running slice, FreeSnapshot on the off-monitor diff path — never contends
 // with commits or collections. The mutex guards only the live-slice map.
+//
+// Usage is kept twice: one exact atomic (used) that is the capacity budget,
+// and a striped per-domain attribution (perStripe) whose cells sum to used.
+// The budget deliberately stays a single atomic: GC-trigger decisions must
+// see the exact linearized usage at each charge, and a stripe-summed
+// approximation would reintroduce the missed/double-trigger races that
+// Commit's charge-returned value exists to rule out.
 type Store struct {
-	mu          sync.Mutex
+	mu          sync.Mutex //detvet:nativesync guards only the live-slice map; charging is lock-free and commits/collections from different monitor domains must not serialize on usage accounting
 	slices      map[uint64]*Slice
 	capacity    uint64
 	gcThreshold uint64
 
 	nextID       atomic.Uint64
-	used         atomic.Int64 // slices + snapshots, bytes
+	used         atomic.Int64 // slices + snapshots, bytes (the exact budget)
+	perStripe    *stats.Striped
 	highWater    atomic.Int64
 	gcCount      atomic.Uint64
 	totalCreated atomic.Uint64
 }
 
 // NewStore returns a metadata space with the given capacity (0 means
-// DefaultCapacity) and GC threshold percentage (0 means 90).
+// DefaultCapacity) and GC threshold percentage (0 means 90), with a single
+// accounting stripe.
 func NewStore(capacity uint64, thresholdPct int) *Store {
+	return NewStriped(capacity, thresholdPct, 1)
+}
+
+// NewStriped is NewStore with per-domain usage attribution: charges carry a
+// stripe hint (a thread or shard id) and accumulate into one of stripes
+// cache-padded cells, so concurrent accounting from different commit-monitor
+// domains does not bounce a shared cache line for the observability half of
+// the bookkeeping. The stripes always sum to the single exact budget.
+func NewStriped(capacity uint64, thresholdPct, stripes int) *Store {
 	if capacity == 0 {
 		capacity = DefaultCapacity
 	}
@@ -86,6 +105,7 @@ func NewStore(capacity uint64, thresholdPct int) *Store {
 		// the threshold down by up to 99*pct bytes — and to zero for
 		// capacities under 100, making every commit trigger a GC pass.
 		gcThreshold: capacity * uint64(thresholdPct) / 100,
+		perStripe:   stats.NewStriped(stripes),
 	}
 }
 
@@ -97,34 +117,44 @@ func (st *Store) Capacity() uint64 { return st.capacity }
 func (st *Store) GCThreshold() uint64 { return st.gcThreshold }
 
 // AllocSnapshot charges one page snapshot to the metadata space (taken on
-// the first write to a page within a slice, Figure 4).
-func (st *Store) AllocSnapshot() { st.charge(mem.PageSize) }
+// the first write to a page within a slice, Figure 4). The stripe hint
+// attributes the charge to the calling thread's accounting cell.
+func (st *Store) AllocSnapshot(stripe int) { st.charge(stripe, mem.PageSize) }
 
 // FreeSnapshot releases one page snapshot's accounting: the paper frees
 // snapshot memory immediately after the byte-granularity modification list
 // is built by page diffing (§5.4).
-func (st *Store) FreeSnapshot() { st.charge(-mem.PageSize) }
+func (st *Store) FreeSnapshot(stripe int) { st.charge(stripe, -mem.PageSize) }
 
-func (st *Store) charge(delta int64) {
+// charge adjusts usage by delta, attributes it to the given stripe, and
+// returns the post-add budget value — the exact usage at the instant this
+// charge linearized on the used atomic. Callers deciding anything from the
+// charge (Commit's GC trigger) must use the returned value, never a
+// re-load: between Add and a later Load, a FreeSnapshot on the off-monitor
+// diff path can dip usage back under a threshold the Add crossed.
+func (st *Store) charge(stripe int, delta int64) int64 {
+	st.perStripe.Add(stripe, delta)
 	used := st.used.Add(delta)
 	for {
 		hw := st.highWater.Load()
 		if used <= hw || st.highWater.CompareAndSwap(hw, used) {
-			return
+			return used
 		}
 	}
 }
 
 // Commit registers a finished slice and reports whether usage has crossed
-// the GC threshold, in which case the caller should garbage-collect.
+// the GC threshold, in which case the caller should garbage-collect. The
+// decision is made from the commit's own post-charge usage, so a threshold
+// crossing is reported by exactly the charge that crossed it regardless of
+// how concurrent snapshot frees interleave.
 func (st *Store) Commit(s *Slice) (needGC bool) {
 	s.ID = st.nextID.Add(1)
 	st.totalCreated.Add(1)
 	st.mu.Lock()
 	st.slices[s.ID] = s
 	st.mu.Unlock()
-	st.charge(int64(s.Cost()))
-	return uint64(st.used.Load()) >= st.gcThreshold
+	return uint64(st.charge(int(s.Tid), int64(s.Cost()))) >= st.gcThreshold
 }
 
 // Collect removes every slice whose timestamp is ≤ frontier: such slices
@@ -143,13 +173,21 @@ func (st *Store) Collect(frontier vclock.VC) int {
 	}
 	st.mu.Unlock()
 	st.gcCount.Add(1)
-	var freed int64
+	// Credit each victim back to the stripe its commit charged, so the
+	// stripes keep summing to the budget.
 	for _, s := range victims {
-		freed += int64(s.Cost())
+		st.charge(int(s.Tid), -int64(s.Cost()))
 	}
-	st.charge(-freed)
 	return len(victims)
 }
+
+// Stripes returns the number of usage-attribution stripes.
+func (st *Store) Stripes() int { return st.perStripe.Len() }
+
+// StripeUsed returns the usage attributed to one stripe. Stripes are
+// attribution for observability, not budgets; only their sum (== Used when
+// quiescent) is the capacity budget.
+func (st *Store) StripeUsed(stripe int) int64 { return st.perStripe.Load(stripe) }
 
 // Used returns the current metadata-space usage in bytes.
 func (st *Store) Used() uint64 { return uint64(st.used.Load()) }

@@ -37,12 +37,12 @@ func TestCommitAccountsUsage(t *testing.T) {
 
 func TestSnapshotAccounting(t *testing.T) {
 	st := NewStore(0, 0)
-	st.AllocSnapshot()
-	st.AllocSnapshot()
+	st.AllocSnapshot(0)
+	st.AllocSnapshot(0)
 	if st.Used() != 2*mem.PageSize {
 		t.Fatalf("Used = %d", st.Used())
 	}
-	st.FreeSnapshot()
+	st.FreeSnapshot(0)
 	if st.Used() != mem.PageSize {
 		t.Fatalf("Used = %d", st.Used())
 	}
@@ -242,5 +242,75 @@ func TestCollectOrderFree(t *testing.T) {
 			t.Fatalf("rep %d: collect diverged: n=%d live=%d used=%d, want %d/%d/%d",
 				rep, n, st.Live(), st.Used(), wantCount, wantLive, wantUsed)
 		}
+	}
+}
+
+// TestCommitGCDecisionIgnoresConcurrentFrees pins the satellite fix for the
+// GC-trigger race: Commit must decide needGC from the post-add value its own
+// charge observed, not from a second load of the usage atomic. A concurrent
+// FreeSnapshot between the charge and a re-load could dip usage back under
+// the threshold and swallow the trigger; with the charge-returned value the
+// crossing commit always reports it.
+func TestCommitGCDecisionIgnoresConcurrentFrees(t *testing.T) {
+	const iters = 200
+	for i := 0; i < iters; i++ {
+		// Capacity 100 KiB, threshold 90 KiB. Pre-fill with snapshots so the
+		// next commit's charge is exactly what crosses the threshold.
+		st := NewStriped(100*1024, 90, 2)
+		for st.Used()+mem.PageSize <= st.GCThreshold() {
+			st.AllocSnapshot(0)
+		}
+		s := mkSlice(1, vclock.VC{0, uint64(i + 1)}, 8*1024)
+
+		free := make(chan struct{})
+		done := make(chan bool)
+		go func() {
+			<-free
+			st.FreeSnapshot(0) // the off-monitor diff path releasing a page
+			done <- true
+		}()
+		close(free)
+		need := st.Commit(s)
+		<-done
+
+		// Whatever the interleaving, the decision must be consistent with
+		// the exact usage at the commit's own linearization point: the
+		// pre-fill guarantees the commit crossed the threshold, so needGC
+		// must be true even when the free landed first in wall-clock terms.
+		if !need {
+			t.Fatalf("iter %d: commit crossed the GC threshold but needGC = false (usage now %d, threshold %d)",
+				i, st.Used(), st.GCThreshold())
+		}
+	}
+}
+
+func TestStripesSumToBudget(t *testing.T) {
+	st := NewStriped(1<<20, 90, 4)
+	if st.Stripes() != 4 {
+		t.Fatalf("Stripes = %d, want 4", st.Stripes())
+	}
+	st.AllocSnapshot(2)
+	st.Commit(mkSlice(0, vclock.VC{1}, 100))
+	st.Commit(mkSlice(1, vclock.VC{0, 1}, 200))
+	st.Commit(mkSlice(5, vclock.VC{0, 0, 0, 0, 0, 1}, 300)) // tid wraps to stripe 1
+	var sum int64
+	for i := 0; i < st.Stripes(); i++ {
+		sum += st.StripeUsed(i)
+	}
+	if uint64(sum) != st.Used() {
+		t.Fatalf("stripe sum %d != budget %d", sum, st.Used())
+	}
+	// Collection credits each victim back to the stripe its commit charged.
+	st.Collect(vclock.VC{9, 9, 9, 9, 9, 9})
+	st.FreeSnapshot(2)
+	sum = 0
+	for i := 0; i < st.Stripes(); i++ {
+		if u := st.StripeUsed(i); u != 0 {
+			t.Errorf("stripe %d retains %d bytes after full collection", i, u)
+		}
+		sum += st.StripeUsed(i)
+	}
+	if st.Used() != 0 || sum != 0 {
+		t.Fatalf("budget %d / stripe sum %d after full collection, want 0/0", st.Used(), sum)
 	}
 }

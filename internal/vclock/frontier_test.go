@@ -1,0 +1,58 @@
+package vclock
+
+import "testing"
+
+func TestFrontierAdvanceMonotone(t *testing.T) {
+	var f Frontier
+	if f.Version() != 0 {
+		t.Fatalf("fresh frontier version = %d, want 0", f.Version())
+	}
+	if !f.Covers(nil) {
+		t.Fatal("fresh frontier must cover the zero clock")
+	}
+	clocks := []VC{
+		{1, 0, 0},
+		{0, 3, 0},
+		{2, 1, 0},
+		{0, 0, 5},
+	}
+	var prev uint64
+	for i, ts := range clocks {
+		ver := f.Advance(ts)
+		if ver != prev+1 {
+			t.Fatalf("Advance #%d returned version %d, want %d", i, ver, prev+1)
+		}
+		if ver != f.Version() {
+			t.Fatalf("Advance returned %d but Version() = %d", ver, f.Version())
+		}
+		prev = ver
+		// Every clock advanced so far stays covered: the frontier is a
+		// monotone join accumulator.
+		for j := 0; j <= i; j++ {
+			if !f.Covers(clocks[j]) {
+				t.Fatalf("after advance #%d, clock #%d %s not covered by frontier %s",
+					i, j, clocks[j], f.Clock())
+			}
+		}
+	}
+	want := VC{2, 3, 5}
+	if !f.Clock().Equal(want) {
+		t.Fatalf("frontier clock = %s, want %s", f.Clock(), want)
+	}
+	if f.Covers(VC{3, 0, 0}) {
+		t.Fatal("frontier claims to cover a clock ahead of every advanced timestamp")
+	}
+}
+
+func TestFrontierCoversIsJoinLeq(t *testing.T) {
+	// Covers(ts) must agree with ts.Leq(join of advanced clocks) for random
+	// clock sequences.
+	f := func(a, b, c VC) bool {
+		var fr Frontier
+		fr.Advance(a)
+		fr.Advance(b)
+		joined := a.Join(b)
+		return fr.Covers(c) == c.Leq(joined)
+	}
+	checkThree(t, "covers-is-join-leq", f)
+}

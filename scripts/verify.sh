@@ -11,6 +11,9 @@
 #   6. race tests — the packages with real concurrency, under -race with
 #                   GOMAXPROCS oversubscribed (the off-monitor diff/apply
 #                   windows only interleave when the host preempts)
+#   7. shard sweep— the seed-regression goldens once per commit-monitor
+#                   domain count (RFDET_SHARDS): the sharded monitor must be
+#                   invisible to every deterministic observable
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,5 +41,11 @@ go test ./...
 
 echo "==> race tests (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -race ./internal/core/ ./internal/slicestore/ ./internal/kendo/
+
+echo "==> seed goldens per shard count"
+for shards in 1 4; do
+	echo "    RFDET_SHARDS=$shards"
+	RFDET_SHARDS="$shards" go test -count=1 -run 'TestSeedRegressionTraces|TestSeedRegressionShardCounts' .
+done
 
 echo "verify: OK"

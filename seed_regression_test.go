@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"rfdet"
@@ -44,6 +46,21 @@ var regressionProcs = []int{1, 2, 4, 8}
 
 // seedConfig is the workload configuration the goldens were captured with.
 var seedConfig = workloads.Config{Threads: 4, Size: workloads.SizeTest}
+
+// seedTestOptions returns the configuration the goldens were captured with,
+// honoring the RFDET_SHARDS environment variable so CI can sweep the
+// determinism matrix across commit-monitor domain counts without a test-code
+// change. The goldens are shard-count independent by construction — that
+// independence is exactly what the sweep asserts.
+func seedTestOptions() core.Options {
+	opts := core.DefaultOptions()
+	if s := os.Getenv("RFDET_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			opts.ShardCount = n
+		}
+	}
+	return opts
+}
 
 func fnvString(s string) uint64 {
 	h := fnv.New64a()
@@ -88,7 +105,7 @@ func TestSeedRegressionTraces(t *testing.T) {
 		{"wordcount", goldenWordcountOutput, goldenWordcountVTime, goldenWordcountTrace},
 		{"fft", goldenFFTOutput, goldenFFTVTime, goldenFFTTrace},
 	}
-	opts := core.DefaultOptions()
+	opts := seedTestOptions()
 	opts.Trace = true
 	rt := core.New(opts)
 	for _, p := range regressionProcs {
@@ -121,7 +138,7 @@ func TestSeedRegressionTraces(t *testing.T) {
 				runtime.GOMAXPROCS(old)
 				t.Fatal(err)
 			}
-			r, err := rfdet.NewCI().Run(w.Prog(seedConfig))
+			r, err := rfdet.New(seedTestOptions()).Run(w.Prog(seedConfig))
 			if err != nil {
 				runtime.GOMAXPROCS(old)
 				t.Fatalf("P=%d run %d racey: %v", p, rep, err)
@@ -319,5 +336,57 @@ func TestSeedRegressionPhaseTraceMatches(t *testing.T) {
 	}
 	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSeedRegressionShardCounts replays the seed goldens once per
+// commit-monitor domain count, at several GOMAXPROCS each: the sharded
+// monitor (default four domains) and the seed's single global domain must
+// both hit the exact pre-sharding outputs, virtual times and trace digests.
+// This is the in-tree half of the CI determinism matrix (scripts/verify.sh
+// additionally sweeps RFDET_SHARDS over the whole seed-regression wall).
+func TestSeedRegressionShardCounts(t *testing.T) {
+	goldens := []struct {
+		workload             string
+		output, vtime, trace uint64
+	}{
+		{"wordcount", goldenWordcountOutput, goldenWordcountVTime, goldenWordcountTrace},
+		{"fft", goldenFFTOutput, goldenFFTVTime, goldenFFTTrace},
+	}
+	for _, shards := range []int{1, 4} {
+		opts := core.DefaultOptions()
+		opts.ShardCount = shards
+		opts.Trace = true
+		rt := core.New(opts)
+		for _, p := range []int{1, 4, 8} {
+			old := runtime.GOMAXPROCS(p)
+			for _, g := range goldens {
+				w, err := workloads.ByName(g.workload)
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatal(err)
+				}
+				r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("shards=%d P=%d %s: %v", shards, p, g.workload, err)
+				}
+				if r.OutputHash != g.output || r.VirtualTime != g.vtime {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("shards=%d P=%d %s: output=%#x vtime=%d, seed output=%#x vtime=%d",
+						shards, p, g.workload, r.OutputHash, r.VirtualTime, g.output, g.vtime)
+				}
+				if th := fnvString(tr.String()); th != g.trace {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("shards=%d P=%d %s: trace hash %#x, seed %#x — sharding changed event-level behavior",
+						shards, p, g.workload, th, g.trace)
+				}
+				if want := uint64(shards); r.Stats.MonitorShards != want {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("shards=%d: Stats.MonitorShards = %d", shards, r.Stats.MonitorShards)
+				}
+			}
+			runtime.GOMAXPROCS(old)
+		}
 	}
 }

@@ -120,6 +120,7 @@ func TestApplies(t *testing.T) {
 		{wallclock, "rfdet/internal/trace", false},
 		{wallclock, "rfdet/internal/harness", false},
 		{nativesync, "rfdet/internal/core", true},
+		{nativesync, "rfdet/internal/slicestore", true},
 		{nativesync, "rfdet/internal/mem", false},
 	}
 	for _, c := range cases {

@@ -16,7 +16,7 @@ import (
 var nativesync = &Analyzer{
 	Name:     "nativesync",
 	Doc:      "flag raw goroutines, sync primitives and channel ops in internal/core",
-	Restrict: []string{"rfdet/internal/core"},
+	Restrict: []string{"rfdet/internal/core", "rfdet/internal/slicestore"},
 	Run:      runNativesync,
 }
 
