@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"rfdet"
+	"rfdet/internal/core"
+	"rfdet/internal/harness"
+	"rfdet/internal/workloads"
 )
 
 // Double-free litmus: an allocator failure must surface as an error from Run
@@ -68,6 +71,51 @@ func TestDoubleFreeUnblocksPeers(t *testing.T) {
 				t.Fatal("double free must fail the run")
 			}
 		})
+	}
+}
+
+// TestServerReplicaAbortUnwinds is the server-shaped abort litmus: a replica
+// whose request log injects a failing request (a zero-count barrier fired
+// mid-service, with peer workers blocked on the condvar queue and the
+// end-of-run barrier) must unwind cleanly — Run returns the recoverable
+// abort, nothing hangs — and the replica checker must report it as
+// divergent-by-abort while the clean replicas still agree byte-for-byte.
+// This extends the kernel-level abort tests above to a full workload where
+// the abort lands inside a lock/queue/barrier web, under both the seed's
+// single commit-monitor domain and the sharded default.
+func TestServerReplicaAbortUnwinds(t *testing.T) {
+	cfg := workloads.Config{Threads: 4, Size: workloads.SizeTest}
+	for _, shards := range []int{1, 4} {
+		opts := core.DefaultOptions()
+		opts.ShardCount = shards
+		variants := []harness.ReplicaVariant{
+			{Name: "clean-a", Opts: opts},
+			{Name: "poisoned", Opts: opts, InjectAbort: true},
+			{Name: "clean-b", Opts: opts},
+		}
+		rep := harness.RunServerReplicas(cfg, workloads.DefaultServerSeed, variants)
+		if len(rep.Divergences) != 1 {
+			t.Fatalf("shards=%d: divergences %v — want exactly the injected abort, with clean replicas agreeing",
+				shards, rep.Divergences)
+		}
+		if !strings.Contains(rep.Divergences[0], "divergent-by-abort") {
+			t.Fatalf("shards=%d: divergence %q not classified as abort", shards, rep.Divergences[0])
+		}
+		poisoned := rep.Runs[1]
+		if poisoned.Err == nil || !strings.Contains(poisoned.Err.Error(), "barrier with count") {
+			t.Fatalf("shards=%d: poisoned replica error = %v, want the zero-count barrier abort",
+				shards, poisoned.Err)
+		}
+		for _, i := range []int{0, 2} {
+			run := rep.Runs[i]
+			if run.Err != nil {
+				t.Fatalf("shards=%d: clean replica %d errored: %v", shards, i, run.Err)
+			}
+			if run.Summary.StateHash != rep.Runs[0].Summary.StateHash ||
+				run.Summary.ResponseHash != rep.Runs[0].Summary.ResponseHash {
+				t.Fatalf("shards=%d: clean replicas disagree after the abort", shards)
+			}
+		}
 	}
 }
 

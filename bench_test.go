@@ -737,6 +737,78 @@ func BenchmarkRecordingOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkServerThroughput measures the deterministic KV server — the
+// replica workload — under the default, full-page-diff and uncoalesced
+// stacks, reporting requests per second against both clocks: "req-s-virtual"
+// divides the request count by the deterministic virtual-time makespan (the
+// figure replicas must agree on), "req-s-host" by host wall time. Every
+// variant must produce the same state hash, response hash and virtual time
+// as the first — the benchmark doubles as the replica-equivalence assert, so
+// a speedup from a divergent variant can never be reported.
+func BenchmarkServerThroughput(b *testing.B) {
+	w, err := workloads.ByName("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	requests := workloads.ServerRequests(benchSize)
+	cfg := workloads.Config{Threads: 4, Size: benchSize}
+	variants := []struct {
+		name string
+		opts func() rfdet.Options
+	}{
+		{"default", rfdet.DefaultOptions},
+		{"fullpagediff", func() rfdet.Options {
+			o := rfdet.DefaultOptions()
+			o.FullPageDiff = true
+			return o
+		}},
+		{"nocoalesce", func() rfdet.Options {
+			o := rfdet.DefaultOptions()
+			o.NoCoalesce = true
+			return o
+		}},
+	}
+	type fingerprint struct {
+		state, resp, vtime uint64
+	}
+	var golden fingerprint
+	haveGolden := false
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			rt := rfdet.New(v.opts())
+			var fp fingerprint
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := rt.Run(w.Prog(cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, err := workloads.SummarizeServer(rep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := fingerprint{sum.StateHash, sum.ResponseHash, rep.VirtualTime}
+				if i == 0 {
+					fp = got
+				} else if got != fp {
+					b.Fatal("server nondeterministic across iterations")
+				}
+			}
+			b.StopTimer()
+			if !haveGolden {
+				golden, haveGolden = fp, true
+			} else if fp != golden {
+				b.Fatalf("%s replica fingerprint %+v diverged from default %+v", v.name, fp, golden)
+			}
+			b.ReportMetric(float64(requests)*1e9/float64(fp.vtime), "req-s-virtual")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(requests*b.N)/secs, "req-s-host")
+			}
+		})
+	}
+}
+
 // domainParallelProg is the sharding headline workload: four workers, each
 // with a private mutex, a private atomic counter and a private data region,
 // every sync var in a different 64-byte address range so the four hot paths

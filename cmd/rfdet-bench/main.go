@@ -9,11 +9,13 @@
 //	rfdet-bench racey     the §5.1 determinism stress test
 //	rfdet-bench litmus    the DLRC memory-model litmus table (§3)
 //	rfdet-bench racetable happens-before race detection vs litmus classification (DESIGN.md §12)
+//	rfdet-bench replicas  KV-server k-replica divergence check + requests/sec (DESIGN.md §14)
 //	rfdet-bench all       everything, in paper order
 //	rfdet-bench validate-trace <file>  check an exported trace file
 //
 // Flags select the problem size (-size test|small|medium), the thread count
-// (-threads), measurement repeats (-repeats) and racey run count (-runs).
+// (-threads), measurement repeats (-repeats), racey run count (-runs) and the
+// replica count for the divergence check (-replicas).
 //
 // -trace out.json runs one workload (-traceworkload, default wordcount) under
 // RFDet-ci with phase tracing enabled and writes the phase timeline as
@@ -94,10 +96,11 @@ func main() {
 	threads := flag.Int("threads", 4, "worker thread count for figure7/table1/figure9")
 	repeats := flag.Int("repeats", 1, "measurement repeats (median of virtual times)")
 	runs := flag.Int("runs", 20, "racey executions per configuration")
+	replicas := flag.Int("replicas", 3, "KV-server replica count for the replicas command")
 	tracePath := flag.String("trace", "", "write a Chrome-trace phase timeline of one workload to this file")
 	traceWorkload := flag.String("traceworkload", "wordcount", "workload to trace with -trace")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|propagation|phases|figure8|figure9|racey|litmus|racetable|all\n")
+		fmt.Fprintf(os.Stderr, "usage: rfdet-bench [flags] figure7|table1|propagation|phases|figure8|figure9|racey|litmus|racetable|replicas|all\n")
 		fmt.Fprintf(os.Stderr, "       rfdet-bench [flags] validate-trace <file>\n")
 		fmt.Fprintf(os.Stderr, "       rfdet-bench [flags] -trace out.json\n")
 		flag.PrintDefaults()
@@ -151,6 +154,8 @@ func main() {
 		err = harness.LitmusTable(os.Stdout, *runs)
 	case "racetable":
 		err = harness.RaceTable(os.Stdout, sz, *threads)
+	case "replicas":
+		err = harness.ReplicaTable(os.Stdout, sz, *threads, *replicas)
 	case "all":
 		err = harness.AllExperiments(os.Stdout, sz, *threads, *repeats, *runs)
 	case "validate-trace":

@@ -7,6 +7,9 @@ import (
 	"testing"
 
 	"rfdet"
+	"rfdet/internal/core"
+	"rfdet/internal/harness"
+	"rfdet/internal/workloads"
 )
 
 // This file fuzzes the determinism guarantee: seeded random multithreaded
@@ -326,6 +329,62 @@ func TestFuzzNoCoalesceAgrees(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestFuzzServerReplicasAgree is the end-to-end replica fuzz wall: for random
+// request-log seeds and worker-thread counts, k replicas of the KV server
+// across differing optimization stacks, shard counts and GOMAXPROCS must
+// produce byte-identical state hashes, response hashes, observation digests
+// and virtual times. This fuzzes the active-replication property itself —
+// the whole server-shaped execution (condvar queue, shard locks, barrier,
+// atomics), not just generated kernels.
+func TestFuzzServerReplicasAgree(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for i := 0; i < seeds; i++ {
+		seed := uint64(0x1300) + uint64(i)*0x9e3779b97f4a7c15
+		threads := 2 + int(seed%4) // 2..5 workers, derived from the seed
+		cfg := workloads.Config{Threads: threads, Size: workloads.SizeTest}
+
+		mk := func(name string, shards, procs int, full, noCo bool) harness.ReplicaVariant {
+			opts := core.DefaultOptions()
+			opts.ShardCount = shards
+			opts.FullPageDiff = full
+			opts.NoCoalesce = noCo
+			return harness.ReplicaVariant{Name: name, Procs: procs, Opts: opts}
+		}
+		variants := []harness.ReplicaVariant{
+			mk("default/p1", core.DefaultOptions().ShardCount, 1, false, false),
+			mk("fullpagediff/p4", core.DefaultOptions().ShardCount, 4, true, false),
+			mk("nocoalesce/p8", core.DefaultOptions().ShardCount, 8, false, true),
+			mk("shards1/p4", 1, 4, false, false),
+			mk("shards4-full-noco/p2", 4, 2, true, true),
+		}
+		rep := harness.RunServerReplicas(cfg, seed, variants)
+		if rep.Divergent() {
+			t.Fatalf("seed %#x threads %d: replicas diverged:\n%s",
+				seed, threads, fmtDivergences(rep.Divergences))
+		}
+		for j, run := range rep.Runs {
+			if run.Err != nil {
+				t.Fatalf("seed %#x replica %d (%s): %v", seed, j, run.Variant, run.Err)
+			}
+			if run.Summary.Served != uint64(rep.Requests) {
+				t.Fatalf("seed %#x replica %d (%s): served %d of %d requests",
+					seed, j, run.Variant, run.Summary.Served, rep.Requests)
+			}
+		}
+	}
+}
+
+func fmtDivergences(ds []string) string {
+	var out string
+	for _, d := range ds {
+		out += d + "\n"
+	}
+	return out
 }
 
 // TestFuzzValidated runs generated programs with the DLRC invariant checker

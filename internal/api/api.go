@@ -13,6 +13,7 @@
 package api
 
 import (
+	"sort"
 	"time"
 
 	"rfdet/internal/racecheck"
@@ -304,4 +305,35 @@ type Report struct {
 	// unlike wall-clock spans — itself deterministic: the same program
 	// yields a byte-identical report on every run and every GOMAXPROCS.
 	Races *racecheck.Report
+}
+
+// ObservationsDigest folds the complete observation log — every thread's
+// values in thread-ID order, length-delimited — into one FNV-1a digest.
+// Replica divergence checking compares this alongside the workload-level
+// hashes: two replicas agree on it iff their full per-thread response logs
+// agree value for value, not merely on a folded summary. Unlike OutputHash
+// it excludes the final-memory digest, so it isolates *observed* divergence
+// from state divergence.
+func (r *Report) ObservationsDigest() uint64 {
+	ids := make([]ThreadID, 0, len(r.Observations))
+	for id := range r.Observations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := uint64(0xcbf29ce484222325)
+	fold := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	for _, id := range ids {
+		obs := r.Observations[id]
+		fold(uint64(id))
+		fold(uint64(len(obs)))
+		for _, v := range obs {
+			fold(v)
+		}
+	}
+	return h
 }

@@ -50,3 +50,25 @@ func TestMemOps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestObservationsDigest(t *testing.T) {
+	rep := func(obs map[ThreadID][]uint64) *Report { return &Report{Observations: obs} }
+	base := rep(map[ThreadID][]uint64{0: {1, 2}, 1: {3}})
+	same := rep(map[ThreadID][]uint64{1: {3}, 0: {1, 2}})
+	if base.ObservationsDigest() != same.ObservationsDigest() {
+		t.Fatal("digest depends on map insertion order")
+	}
+	// Any change — a value, an owner, or a boundary shift — must change it.
+	diffs := []*Report{
+		rep(map[ThreadID][]uint64{0: {1, 2}, 1: {4}}),        // value changed
+		rep(map[ThreadID][]uint64{0: {1, 2}, 2: {3}}),        // owner changed
+		rep(map[ThreadID][]uint64{0: {1, 2, 3}, 1: {}}),      // boundary moved
+		rep(map[ThreadID][]uint64{0: {1}, 1: {2, 3}}),        // boundary moved
+		rep(map[ThreadID][]uint64{0: {1, 2}, 1: {3}, 2: {}}), // empty log added
+	}
+	for i, d := range diffs {
+		if d.ObservationsDigest() == base.ObservationsDigest() {
+			t.Fatalf("variant %d collides with the base digest", i)
+		}
+	}
+}

@@ -393,6 +393,7 @@ func AllExperiments(out io.Writer, size workloads.Size, threads, repeats, raceyR
 		func() error { return RaceyCheck(out, size, raceyRuns) },
 		func() error { return LitmusTable(out, raceyRuns) },
 		func() error { return RaceTable(out, size, threads) },
+		func() error { return ReplicaTable(out, size, threads, 3) },
 		func() error { return Figure7(out, size, threads, repeats) },
 		func() error { return Table1(out, size, threads) },
 		func() error { return PropagationTable(out, size, threads) },

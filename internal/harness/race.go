@@ -100,6 +100,28 @@ func RaceTable(out io.Writer, size workloads.Size, threads int) error {
 	fmt.Fprintf(out, "%-12s %8d %10d %-12s %s\n", "racey", len(rep.Races.Races),
 		rep.Races.AccessesRecorded, "RACY", fmt.Sprintf("§5.1 stress, %d threads; report hash %#016x", threads, rep.Races.Hash()))
 
+	// The KV server: a full server-shaped execution — queue, shard locks,
+	// barrier, atomics — that the detector must certify race-free. Every
+	// response slot is written by exactly one worker and read only after the
+	// joins, so any reported race is a detector false positive or a real
+	// synchronization bug in the workload.
+	server, err := workloads.ByName("server")
+	if err != nil {
+		return err
+	}
+	rep, err = runTwice("server", func() (*api.Report, error) {
+		return NewRFDetCIRace().Run(server.Prog(cfg))
+	})
+	if err != nil {
+		return err
+	}
+	if n := len(rep.Races.Races); n != 0 {
+		return fmt.Errorf("harness: server: %d races on the data-race-free KV server:\n%s", n, rep.Races)
+	}
+	fmt.Fprintf(out, "%-12s %8d %10d %-12s %s\n", "server", 0,
+		rep.Races.AccessesRecorded, "race-free",
+		fmt.Sprintf("KV server, %d workers: fully synchronized, order-dependent", threads))
+
 	fmt.Fprintln(out, "\nEvery kernel was run twice and its race report byte-compared: the report is")
 	fmt.Fprintln(out, "a deterministic artifact, like the output hash. \"blind spot\" rows are racy")
 	fmt.Fprintln(out, "programs whose racing stores change disjoint or identical bytes — invisible")

@@ -265,6 +265,23 @@ func (r *Report) PhaseCounts() [NumPhases]uint64 {
 	return n
 }
 
+// PerOp divides each phase's total across n operations, yielding the average
+// wall-clock cost one operation (e.g. one served request) pays in that phase.
+// This is the per-request breakdown the replica harness reports: with every
+// span attributed to a phase, the sum over phases of PerOp values is the
+// non-user runtime cost per operation. n = 0 returns zeros.
+func (r *Report) PerOp(n uint64) [NumPhases]time.Duration {
+	var per [NumPhases]time.Duration
+	if r == nil || n == 0 {
+		return per
+	}
+	tot := r.PhaseTotals()
+	for p := range tot {
+		per[p] = tot[p] / time.Duration(n)
+	}
+	return per
+}
+
 // UserTime estimates user compute: the sum over threads of lifetime not
 // covered by any recorded span. Because premerge, plan-build and
 // barrier-merge spans nest inside other spans (a waiter's block, an apply),

@@ -206,3 +206,28 @@ func TestWriteSummaryTable(t *testing.T) {
 		t.Fatalf("missing total row: %s", lines[2])
 	}
 }
+
+func TestPerOpAveragesPhaseTotals(t *testing.T) {
+	r := &Report{Threads: []Timeline{{
+		ID: 0, Start: 0, End: 1000,
+		Spans: []Span{
+			{Phase: PhaseDiff, Start: 0, Dur: 100},
+			{Phase: PhaseDiff, Start: 200, Dur: 100},
+			{Phase: PhaseApply, Start: 400, Dur: 50},
+		},
+	}}}
+	per := r.PerOp(10)
+	if per[PhaseDiff] != 20 {
+		t.Fatalf("diff per-op = %d, want 20", per[PhaseDiff])
+	}
+	if per[PhaseApply] != 5 {
+		t.Fatalf("apply per-op = %d, want 5", per[PhaseApply])
+	}
+	if z := r.PerOp(0); z != ([NumPhases]time.Duration{}) {
+		t.Fatalf("PerOp(0) = %v, want zeros", z)
+	}
+	var nilReport *Report
+	if z := nilReport.PerOp(5); z != ([NumPhases]time.Duration{}) {
+		t.Fatalf("nil PerOp = %v, want zeros", z)
+	}
+}

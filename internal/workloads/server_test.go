@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/core"
+)
+
+// TestServerRunsEverywhere executes the KV server on every runtime. The
+// response and state hashes are acquisition-order dependent, so runtimes may
+// legitimately disagree with each other — but on every runtime the full log
+// must be served, and the request-log digest (a pure function of the seed)
+// must be identical everywhere.
+func TestServerRunsEverywhere(t *testing.T) {
+	cfg := Config{Threads: 3, Size: SizeTest}
+	want := ServerRequests(SizeTest)
+	var logHash uint64
+	for _, rt := range runtimes() {
+		rep, err := rt.Run(Server(cfg))
+		if err != nil {
+			t.Fatalf("server on %s: %v", rt.Name(), err)
+		}
+		sum, err := SummarizeServer(rep)
+		if err != nil {
+			t.Fatalf("server on %s: %v", rt.Name(), err)
+		}
+		if sum.Served != uint64(want) {
+			t.Fatalf("server on %s: served %d of %d requests", rt.Name(), sum.Served, want)
+		}
+		if logHash == 0 {
+			logHash = sum.LogHash
+		} else if sum.LogHash != logHash {
+			t.Fatalf("server on %s: log digest %#x != %#x — request generation is schedule-dependent",
+				rt.Name(), sum.LogHash, logHash)
+		}
+	}
+}
+
+// TestServerDeterministicOnDMT re-runs the server on each deterministic
+// runtime and demands identical state and response hashes — the in-package
+// half of the replica-divergence oracle.
+func TestServerDeterministicOnDMT(t *testing.T) {
+	cfg := Config{Threads: 4, Size: SizeTest}
+	for _, rt := range runtimes()[1:] { // skip pthreads
+		var first ServerSummary
+		for i := 0; i < 3; i++ {
+			rep, err := rt.Run(Server(cfg))
+			if err != nil {
+				t.Fatalf("server on %s: %v", rt.Name(), err)
+			}
+			sum, err := SummarizeServer(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				first = sum
+			} else if sum != first {
+				t.Fatalf("server on %s: run %d summary %+v != %+v", rt.Name(), i, sum, first)
+			}
+		}
+	}
+}
+
+// TestServerExercisesEverySyncKind asserts the workload actually stresses
+// what it claims to: locks (queue + shards), condvars (queue waits and
+// signals), a native barrier, atomics, and fork/join.
+func TestServerExercisesEverySyncKind(t *testing.T) {
+	rep, err := core.New(core.DefaultOptions()).Run(Server(Config{Threads: 4, Size: SizeTest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Locks == 0 || s.Unlocks == 0 {
+		t.Fatalf("no lock traffic: %+v", s)
+	}
+	if s.Signals == 0 {
+		t.Fatalf("no condvar signals: %+v", s)
+	}
+	if s.Barriers == 0 {
+		t.Fatalf("no barrier arrivals: %+v", s)
+	}
+	if s.AtomicsOps == 0 {
+		t.Fatalf("no atomic ops: %+v", s)
+	}
+	if s.Forks == 0 || s.Joins == 0 {
+		t.Fatalf("no fork/join: %+v", s)
+	}
+}
+
+// TestServerSeedMatters: different request-log seeds must produce different
+// logs (and, in practice, different state) — the generator is live.
+func TestServerSeedMatters(t *testing.T) {
+	rt := core.New(core.DefaultOptions())
+	cfg := Config{Threads: 2, Size: SizeTest}
+	rep1, err := rt.Run(ServerSeeded(cfg, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := rt.Run(ServerSeeded(cfg, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SummarizeServer(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SummarizeServer(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.LogHash == s2.LogHash {
+		t.Fatalf("seeds 1 and 2 generated the same request log (%#x)", s1.LogHash)
+	}
+}
+
+// TestServerPoisonedAborts: a poisoned request log must fail the run
+// recoverably — the zero-count barrier abort path — not hang or panic.
+func TestServerPoisonedAborts(t *testing.T) {
+	cfg := Config{Threads: 4, Size: SizeTest}
+	poisonAt := ServerRequests(SizeTest) / 2
+	_, err := core.New(core.DefaultOptions()).Run(ServerPoisoned(cfg, DefaultServerSeed, poisonAt))
+	if err == nil {
+		t.Fatal("poisoned server run must fail")
+	}
+	if !strings.Contains(err.Error(), "barrier with count") {
+		t.Fatalf("error %q does not describe the injected barrier misuse", err)
+	}
+}
+
+// TestServerSummaryShape rejects malformed observation logs.
+func TestServerSummaryShape(t *testing.T) {
+	if _, err := SummarizeServer(&api.Report{Observations: map[api.ThreadID][]uint64{0: {1, 2}}}); err == nil {
+		t.Fatal("expected error for a truncated observation log")
+	}
+}

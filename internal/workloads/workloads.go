@@ -105,14 +105,21 @@ func All() []Workload {
 }
 
 // ByName returns the named workload, including the extras outside Table 1:
-// "racey" (the §5.1 stress test) and "canneal" (the §4.6 atomics-extension
-// workload the paper excludes).
+// "racey" (the §5.1 stress test), "canneal" (the §4.6 atomics-extension
+// workload the paper excludes) and "server" (the deterministic KV server the
+// replica-divergence harness replicates). The server is data-race-free but
+// its responses are acquisition-order dependent, so its output is pinned per
+// deterministic runtime rather than identical across all runtimes —
+// RaceFree=false by the field's cross-runtime meaning.
 func ByName(name string) (Workload, error) {
 	if name == "racey" {
 		return Workload{Name: "racey", Suite: "stress", RaceFree: false, Prog: Racey}, nil
 	}
 	if name == "canneal" {
 		return Workload{Name: "canneal", Suite: "parsec-ext", RaceFree: false, Prog: Canneal}, nil
+	}
+	if name == "server" {
+		return Workload{Name: "server", Suite: "server", RaceFree: false, Prog: Server}, nil
 	}
 	for _, w := range All() {
 		if w.Name == name {

@@ -14,6 +14,9 @@
 #   7. shard sweep— the seed-regression goldens once per commit-monitor
 #                   domain count (RFDET_SHARDS): the sharded monitor must be
 #                   invisible to every deterministic observable
+#   8. replicas   — the KV-server divergence check: k=3 replicas of one
+#                   request log across optimization stacks must agree
+#                   byte-for-byte (rfdet-serve exits 1 on divergence)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,7 +48,10 @@ GOMAXPROCS=4 go test -race ./internal/core/ ./internal/slicestore/ ./internal/ke
 echo "==> seed goldens per shard count"
 for shards in 1 4; do
 	echo "    RFDET_SHARDS=$shards"
-	RFDET_SHARDS="$shards" go test -count=1 -run 'TestSeedRegressionTraces|TestSeedRegressionShardCounts' .
+	RFDET_SHARDS="$shards" go test -count=1 -run 'TestSeedRegressionTraces|TestSeedRegressionShardCounts|TestSeedRegressionServer' .
 done
+
+echo "==> replica divergence check (k=3)"
+go run ./cmd/rfdet-serve -size test -threads 4 -replicas 3
 
 echo "verify: OK"

@@ -7,10 +7,12 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 
 	"rfdet"
 	"rfdet/internal/core"
+	"rfdet/internal/harness"
 	"rfdet/internal/litmus"
 	"rfdet/internal/trace"
 	"rfdet/internal/workloads"
@@ -40,6 +42,18 @@ const (
 
 	goldenRaceyOutput = uint64(0x22d8e78f10322389)
 	goldenRaceyVTime  = uint64(24179)
+
+	// KV-server goldens (PR 7), captured at 4 worker threads / SizeTest /
+	// DefaultServerSeed across GOMAXPROCS 1-8 × ShardCount {1,4} — all
+	// identical, as the replica-divergence property demands. The state and
+	// response hashes are the replica fingerprints the harness compares;
+	// output/vtime/trace pin the full runtime behavior around them.
+	goldenServerOutput = uint64(0x4e54dc625c3bc116)
+	goldenServerVTime  = uint64(469638)
+	goldenServerTrace  = uint64(0x5d3ee695ccdf7685)
+	goldenServerState  = uint64(0x882c4a3e614966c9)
+	goldenServerResp   = uint64(0x809ff36626efc075)
+	goldenServerObs    = uint64(0x039aeb8cfba40bb8)
 )
 
 var regressionProcs = []int{1, 2, 4, 8}
@@ -150,6 +164,85 @@ func TestSeedRegressionTraces(t *testing.T) {
 			}
 		}
 		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestSeedRegressionServer freezes the KV-server workload like the kernel
+// goldens: at every GOMAXPROCS in {1,2,4,8} (× whatever RFDET_SHARDS the CI
+// matrix pins via seedTestOptions), the traced run must reproduce the exact
+// output hash, virtual time, trace digest, state hash, response hash and
+// full observation digest. These are the replica fingerprints: if one of
+// them moves, replicas built from different checkouts would diverge.
+func TestSeedRegressionServer(t *testing.T) {
+	w, err := workloads.ByName("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := seedTestOptions()
+	opts.Trace = true
+	rt := core.New(opts)
+	for _, p := range regressionProcs {
+		old := runtime.GOMAXPROCS(p)
+		r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if r.OutputHash != goldenServerOutput || r.VirtualTime != goldenServerVTime {
+			t.Fatalf("P=%d: output=%#x vtime=%d, seed output=%#x vtime=%d",
+				p, r.OutputHash, r.VirtualTime, goldenServerOutput, goldenServerVTime)
+		}
+		if th := fnvString(tr.String()); th != goldenServerTrace {
+			t.Fatalf("P=%d: trace hash %#x, seed %#x — server event-level behavior changed",
+				p, th, goldenServerTrace)
+		}
+		sum, err := workloads.SummarizeServer(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.StateHash != goldenServerState || sum.ResponseHash != goldenServerResp {
+			t.Fatalf("P=%d: state=%#x resp=%#x, seed state=%#x resp=%#x",
+				p, sum.StateHash, sum.ResponseHash, goldenServerState, goldenServerResp)
+		}
+		if d := r.ObservationsDigest(); d != goldenServerObs {
+			t.Fatalf("P=%d: observation digest %#x, seed %#x", p, d, goldenServerObs)
+		}
+	}
+}
+
+// TestSeedRegressionServerReplicas is the CI replica-divergence matrix body:
+// k=3 replicas of the golden request log across the default, full-page-diff
+// and uncoalesced stacks — at the ambient GOMAXPROCS and the RFDET_SHARDS
+// domain count the CI matrix sweeps — must agree with each other AND with
+// the pinned golden fingerprints.
+func TestSeedRegressionServerReplicas(t *testing.T) {
+	mk := func(name string, tweak func(*core.Options)) harness.ReplicaVariant {
+		o := seedTestOptions()
+		tweak(&o)
+		return harness.ReplicaVariant{Name: name, Opts: o}
+	}
+	variants := []harness.ReplicaVariant{
+		mk("default", func(*core.Options) {}),
+		mk("fullpagediff", func(o *core.Options) { o.FullPageDiff = true }),
+		mk("nocoalesce", func(o *core.Options) { o.NoCoalesce = true }),
+	}
+	rep := harness.RunServerReplicas(seedConfig, workloads.DefaultServerSeed, variants)
+	if rep.Divergent() {
+		t.Fatalf("replicas diverged:\n%s", strings.Join(rep.Divergences, "\n"))
+	}
+	for i, run := range rep.Runs {
+		if run.Summary.StateHash != goldenServerState || run.Summary.ResponseHash != goldenServerResp {
+			t.Fatalf("replica %d (%s): state=%#x resp=%#x, seed state=%#x resp=%#x",
+				i, run.Variant, run.Summary.StateHash, run.Summary.ResponseHash,
+				goldenServerState, goldenServerResp)
+		}
+		if run.VirtualTime != goldenServerVTime {
+			t.Fatalf("replica %d (%s): vtime %d, seed %d", i, run.Variant, run.VirtualTime, goldenServerVTime)
+		}
+		if run.ObsDigest != goldenServerObs {
+			t.Fatalf("replica %d (%s): observation digest %#x, seed %#x",
+				i, run.Variant, run.ObsDigest, goldenServerObs)
+		}
 	}
 }
 
