@@ -1,0 +1,452 @@
+package core
+
+// Race-aware ordering relaxation (Options.RaceRelaxed): use race evidence to
+// skip the two costs the deterministic machinery pays even when no
+// communication is happening — the Kendo turn-wait spin before every
+// synchronization operation, and the propagation apply that copies every
+// peer's modifications into the acquirer's private space.
+//
+// Prong 1 — propagation elision. When a propagated slice's write extents are
+// disjoint from every read extent an unordered peer has published, applying
+// it eagerly is (heuristically) wasted work: nobody is looking at those
+// bytes. The elided slice's bytes are parked in a per-thread patch layer
+// (relaxPend) with the affected pages protection-stripped, exactly like the
+// lazy-writes pend; if the prediction turns out wrong and the thread *does*
+// touch an elided page, the fault handler flushes the patch first, so every
+// deterministic read still observes exactly the value the seed model would
+// have produced. The full seed-model virtual-time cost of the apply is
+// charged at elision time and the recovery flush charges nothing, which
+// makes the elision decision free to depend on host-timed evidence: outputs,
+// vtimes and traces are bit-identical whether or not a slice was elided.
+//
+// Prong 2 — profile-guided turn-wait elision. A recording run (RaceDetect)
+// emits the set of sync-var addresses only ever touched by one thread
+// (racecheck.Profile, stability-merged across runs). A replay run loads the
+// profile; a thread that owns a profiled address may skip the turn-wait spin
+// for Lock/Unlock/atomic on it, because an operation on a thread-local
+// variable commutes with every other thread's synchronization: it collects
+// only its own slices, mutates only its own syncvar, and its Kendo clock
+// only grows — so every other thread's deterministic decisions are exactly
+// what they would have been had the operation spun for its turn. Ownership
+// is re-verified under the variable's commit-monitor domain before any
+// shared state is touched; the first contradiction (a second thread on a
+// profiled address) permanently poisons the address and falls back to the
+// seed's full ordering (Stats.RelaxUnsafeFallbacks).
+//
+// The prong-2 guarantee is certification, not unconditional equivalence: a
+// run that finishes with RelaxUnsafeFallbacks == 0 had every elision on a
+// genuinely thread-local variable and is bit-identical to the strict run in
+// every deterministic observable — and a correct profile always yields zero
+// fallbacks. A *wrong* profile is detected at the first contradicting
+// synchronization and can never corrupt synchronization semantics (mutual
+// exclusion, queueing, happens-before propagation completeness all hold;
+// the owner's off-turn ops kept the full seed cost model), but the owner
+// may already have run ahead of the strict admission order on the
+// contradicted variable, so timing observables of a flagged run may differ
+// from the strict run's. Fallback count > 0 therefore means: discard the
+// profile as stale and re-record — which is exactly what the harness does.
+//
+// See DESIGN.md §15 for the full soundness argument.
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"rfdet/internal/api"
+	"rfdet/internal/mem"
+	"rfdet/internal/racecheck"
+	"rfdet/internal/slicestore"
+	"rfdet/internal/trace"
+	"rfdet/internal/vclock"
+	"rfdet/internal/vtime"
+)
+
+// Phase-trace mark ops for the relaxation events; the reconciliation test
+// matches their counts against the Stats counters.
+const (
+	markTurnElide     = "turn-elide"
+	markSliceElide    = "slice-elide" // Addr carries the elided byte count
+	markRelaxFallback = "relax-fallback"
+)
+
+// relaxPoisoned marks a profiled sync var contradicted by execution
+// evidence: it never elides again for the rest of the run.
+const relaxPoisoned = -1
+
+// relaxEntry is the runtime claim state of one profiled sync-var address:
+// 0 = unclaimed, tid+1 = owned by that thread, relaxPoisoned = contradicted.
+type relaxEntry struct {
+	owner atomic.Int64
+}
+
+// relaxState is the loaded relaxation profile: one entry per profiled
+// address. The map itself is read-only after construction; all mutable state
+// lives in the entries' atomics.
+type relaxState struct {
+	entries map[uint64]*relaxEntry
+}
+
+// newRelaxState builds the runtime claim table from a recorded profile. A
+// nil or empty profile yields nil — prong 2 disabled, prong 1 unaffected.
+func newRelaxState(p *racecheck.Profile) *relaxState {
+	if p == nil || len(p.Local) == 0 {
+		return nil
+	}
+	rs := &relaxState{entries: make(map[uint64]*relaxEntry, len(p.Local))}
+	for _, a := range p.Local {
+		rs.entries[a] = &relaxEntry{}
+	}
+	return rs
+}
+
+// entry returns the claim entry for addr, or nil when the address is not in
+// the profile (or there is no profile at all).
+func (rs *relaxState) entry(a api.Addr) *relaxEntry {
+	if rs == nil {
+		return nil
+	}
+	return rs.entries[uint64(a)]
+}
+
+// turnRelaxed is turn() with profile-guided elision: if the calling thread
+// already owns addr's profile entry, a single non-spinning TryTurn probe
+// replaces the WaitForTurn spin. The probe's outcome only selects between
+// two host-equivalent executions — with the turn or without it — because a
+// confirmed-thread-local operation commutes with every peer's
+// synchronization; all deterministic state transitions (SyncBase charge,
+// clock ticks, slice commits) are identical on both paths. Ownership is
+// optimistic here and re-verified under the domain mutex by
+// relaxAdmitLocked before any shared state is read.
+func (t *thread) turnRelaxed(addr api.Addr) (en *relaxEntry, elided bool) {
+	en = t.exec.relax.entry(addr)
+	if en != nil && en.owner.Load() == int64(t.id)+1 {
+		ok, mine := t.exec.sched.TryTurn(t.proc)
+		if !ok {
+			panic(errAborted)
+		}
+		t.vt += vtime.SyncBase
+		if mine {
+			return en, false
+		}
+		t.st.ElidedTurnWaits++
+		t.tb.Mark(markTurnElide, uint64(addr))
+		return en, true
+	}
+	t.turn()
+	return en, false
+}
+
+// relaxAdmitLocked claims or re-verifies profile ownership of addr under the
+// operation's commit-monitor domain, before the operation reads or mutates
+// any domain-guarded state. Because every synchronization on addr runs
+// relaxAdmitLocked under the same shard mutex, the claim protocol is
+// serialized per address:
+//
+//   - unclaimed + turn-held op → claim (the first toucher in deterministic
+//     turn order; elided ops can never reach an unclaimed entry because
+//     elision requires prior ownership);
+//   - owned by caller → confirmed, the elision stands;
+//   - owned by another thread or poisoned → the profile is wrong for this
+//     execution: poison permanently and count the fallback.
+//
+// An op that elided its turn-wait but failed confirmation reverts to the
+// seed's full ordering: drop the domain (the real turn holder may need it),
+// spin for the turn, retake the domain. Nothing was read or written under
+// the optimistic assumption, so the fallback is indistinguishable from
+// having spun in the first place.
+//
+// Once a thread's ownership is confirmed, no queueing state on the variable
+// can involve another thread (any queuer would have poisoned the entry under
+// this same mutex first), so the elided op's off-turn mutations stay
+// strictly thread-local: its own syncvar, its own slice list, its own clock.
+// It returns whether the operation still runs elided (true only when the
+// elision stood confirmed); callers mirror that into t.relaxElided for the
+// duration of the operation so GC requests arriving off-turn get deferred.
+func (t *thread) relaxAdmitLocked(sh *monShard, en *relaxEntry, addr api.Addr, elided bool) bool {
+	if en == nil {
+		return false
+	}
+	me := int64(t.id) + 1
+	confirmed := false
+	switch cur := en.owner.Load(); cur {
+	case me:
+		confirmed = true
+	case 0:
+		if !elided {
+			en.owner.Store(me)
+			confirmed = true
+		}
+	default:
+		if cur != relaxPoisoned {
+			en.owner.Store(relaxPoisoned)
+			t.st.RelaxUnsafeFallbacks++
+			t.tb.Mark(markRelaxFallback, uint64(addr))
+		}
+	}
+	if elided && !confirmed {
+		t.st.RelaxUnsafeFallbacks++
+		t.tb.Mark(markRelaxFallback, uint64(addr))
+		sh.mu.Unlock()
+		ts := t.tb.Now()
+		ok, waited := t.exec.sched.WaitForTurn(t.proc)
+		if waited {
+			t.st.TurnWaits++
+			t.tb.Span(trace.PhaseTurnWait, ts)
+		}
+		if !ok {
+			panic(errAborted)
+		}
+		// SyncBase was already charged by turnRelaxed; only the ordering is
+		// being repaired here.
+		t.exec.relockShard(t, sh)
+		return false
+	}
+	return elided
+}
+
+// recordSync feeds the relaxation-profile recorder. No-op without race
+// detection.
+func (e *exec) recordSync(a api.Addr, tid api.ThreadID) {
+	if e.races != nil {
+		e.races.RecordSync(uint64(a), int32(tid))
+	}
+}
+
+//
+// Prong 1 — propagation elision.
+//
+
+// readEvidence is one thread's published cumulative read footprint: the
+// coalesced union of every committed slice's harvested read ranges, stamped
+// with the thread's clock as of the commit that last extended it. The struct
+// is immutable once published (copy-on-write behind an atomic pointer), so
+// the elision veto can read it without any lock. Evidence is deliberately
+// cumulative and may be stale: stale evidence only makes the veto fire more
+// often (a peer's old clock compares Unordered against more slices), never
+// less — and even a missed veto is repaired by the fault-path recovery
+// flush, so the evidence is a performance heuristic, not a soundness
+// obligation.
+type readEvidence struct {
+	clock  vclock.VC
+	ranges []racecheck.Range
+	lo, hi uint64
+}
+
+// publishReadEvidence extends the thread's published read evidence with the
+// just-committed slice's harvested reads. reads must be normalized; tend is
+// retained (callers already treat it as immutable).
+func (t *thread) publishReadEvidence(reads []racecheck.Range, tend vclock.VC) {
+	if len(reads) == 0 {
+		return
+	}
+	old := t.readEvd.Load()
+	var merged []racecheck.Range
+	if old != nil {
+		merged = make([]racecheck.Range, 0, len(old.ranges)+len(reads))
+		merged = append(merged, old.ranges...)
+		merged = append(merged, reads...)
+		merged = racecheck.Normalize(merged)
+	} else {
+		merged = append(merged, reads...)
+	}
+	ev := &readEvidence{clock: tend, ranges: merged,
+		lo: merged[0].Addr, hi: merged[len(merged)-1].End()}
+	t.readEvd.Store(ev)
+}
+
+// relaxElide reports whether propagation elision is enabled for this
+// execution. Elision needs eager application (the lazy-writes pend charges
+// its flush cost at deterministic points, which an elided pend would skip)
+// and byte-granularity diffing (under FullPageDiff a recovery flush after a
+// page snapshot would surface peer bytes as local modifications); the
+// per-call sites additionally require t.pending == nil and no shared
+// pre-built plan.
+func (e *exec) relaxElide() bool {
+	return e.opts.RaceRelaxed && !e.opts.FullPageDiff
+}
+
+// partitionElidable splits a propagation batch into the slices to apply
+// eagerly and the slices to elide, preserving relative order within each
+// group. A slice is elidable only if (a) no *other* slice in the batch
+// touches any of its pages — the deferred flush is per page, so a shared
+// page could reorder an elided write against an eager one — and (b) the
+// read-evidence veto passes: its writes overlap no byte of the target's own
+// evidence and no byte of any unordered live peer's evidence.
+func (t *thread) partitionElidable(slices []*slicestore.Slice) (apply, elide []*slicestore.Slice) {
+	peersp := t.exec.peers.Load()
+	if peersp == nil {
+		return slices, nil
+	}
+	peers := *peersp
+	var pageOwner map[mem.PageID]int
+	if len(slices) > 1 {
+		pageOwner = make(map[mem.PageID]int)
+		for i, s := range slices {
+			forEachRunPage(s.Mods, func(pid mem.PageID) {
+				if o, ok := pageOwner[pid]; !ok {
+					pageOwner[pid] = i
+				} else if o != i {
+					pageOwner[pid] = -1
+				}
+			})
+		}
+	}
+	for i, s := range slices {
+		if t.elidableSlice(s, i, pageOwner, peers) {
+			elide = append(elide, s)
+		} else {
+			apply = append(apply, s)
+		}
+	}
+	if len(elide) == 0 {
+		return slices, nil
+	}
+	return apply, elide
+}
+
+// elidableSlice is the per-slice elision decision; see partitionElidable.
+func (t *thread) elidableSlice(s *slicestore.Slice, idx int, pageOwner map[mem.PageID]int, peers []*thread) bool {
+	lo, hi, ok := mem.RunBounds(s.Mods)
+	if !ok {
+		return false
+	}
+	if pageOwner != nil {
+		conflict := false
+		forEachRunPage(s.Mods, func(pid mem.PageID) {
+			if pageOwner[pid] != idx {
+				conflict = true
+			}
+		})
+		if conflict {
+			return false
+		}
+	}
+	var writes []racecheck.Range
+	for _, u := range peers {
+		ev := u.readEvd.Load()
+		if ev == nil || ev.hi <= lo || hi <= ev.lo {
+			continue
+		}
+		if writes == nil {
+			writes = racecheck.Normalize(racecheck.RangesFromRuns(s.Mods))
+		}
+		if !racecheck.RangesOverlap(writes, ev.ranges) {
+			continue
+		}
+		if u == t {
+			// The target itself has read these bytes before; assume it will
+			// again and keep the apply eager.
+			return false
+		}
+		if s.Time.Compare(ev.clock) == vclock.Unordered {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachRunPage calls fn for every page a modification list touches
+// (with repeats across runs; callers dedup via their map).
+func forEachRunPage(runs []mem.Run, fn func(mem.PageID)) {
+	for _, r := range runs {
+		if len(r.Data) == 0 {
+			continue
+		}
+		last := mem.PageOf(r.Addr + uint64(len(r.Data)) - 1)
+		for pid := mem.PageOf(r.Addr); ; pid++ {
+			fn(pid)
+			if pid == last {
+				break
+			}
+		}
+	}
+}
+
+// relaxPendSlice parks an elided slice's bytes in the relaxPend patch layer
+// and protection-strips the affected pages so any later local access faults
+// into relaxFlushPage first. The patch copies the bytes, so the slice itself
+// is not retained.
+func (t *thread) relaxPendSlice(s *slicestore.Slice) {
+	if t.relaxPend == nil {
+		t.relaxPend = make(map[mem.PageID]*mem.PagePatch)
+	}
+	byPage := mem.SplitRunsByPage(s.Mods)
+	//detvet:orderfree pages are disjoint and each page's runs stay in list order, the same argument as pendSlice.
+	for pid, runs := range byPage {
+		p := t.relaxPend[pid]
+		if p == nil {
+			p = mem.NewPagePatch(pid)
+			t.relaxPend[pid] = p
+		}
+		for _, r := range runs {
+			p.AddRun(r)
+		}
+		t.space.Protect(pid, mem.ProtNone)
+	}
+}
+
+// relaxFlushPage makes one page's elided propagation bytes resident. It
+// charges no virtual time and no counters: the full seed-model apply cost
+// was already charged when the slices were elided, which is exactly what
+// keeps vtimes identical whether or not the prediction held.
+func (t *thread) relaxFlushPage(pid mem.PageID) {
+	p := t.relaxPend[pid]
+	delete(t.relaxPend, pid)
+	t.space.Protect(pid, mem.ProtRW)
+	t.space.ApplyPatch(p)
+	p.Release()
+}
+
+// relaxFlushForRuns flushes any relaxPend pages an eager modification-list
+// apply is about to write, preserving propagation order per byte: elided
+// bytes from earlier acquires become resident before newer bytes land.
+func (t *thread) relaxFlushForRuns(runs []mem.Run) {
+	if len(t.relaxPend) == 0 {
+		return
+	}
+	forEachRunPage(runs, func(pid mem.PageID) {
+		if _, has := t.relaxPend[pid]; has {
+			t.relaxFlushPage(pid)
+		}
+	})
+}
+
+// relaxFlushForPlan is relaxFlushForRuns for a coalesced write plan.
+func (t *thread) relaxFlushForPlan(plan *mem.WritePlan) {
+	if len(t.relaxPend) == 0 {
+		return
+	}
+	for _, pp := range plan.Patches {
+		if _, has := t.relaxPend[pp.Page()]; has {
+			t.relaxFlushPage(pp.Page())
+		}
+	}
+}
+
+// flushAllRelax makes every parked elided byte resident, in sorted page
+// order. Called wherever the whole space must be current: thread exit
+// (the final memory hash), spawn (the child clones the parent space) and
+// the barrier leader's merge.
+func (t *thread) flushAllRelax() {
+	if len(t.relaxPend) == 0 {
+		return
+	}
+	pids := make([]mem.PageID, 0, len(t.relaxPend))
+	for pid := range t.relaxPend {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		t.relaxFlushPage(pid)
+	}
+}
+
+// dropRelaxPend discards parked bytes without applying them — used when the
+// whole space is about to be replaced (barrier re-clone).
+func (t *thread) dropRelaxPend() {
+	//detvet:orderfree map drain; entries are independent pooled buffers.
+	for pid, p := range t.relaxPend {
+		p.Release()
+		delete(t.relaxPend, pid)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rfdet/internal/api"
+	"rfdet/internal/racecheck"
+	"rfdet/internal/trace"
+)
+
+// relaxRecordProfile runs prog twice with race detection and stability-merges
+// the recorded relaxation profiles, exactly as a profile-guided deployment
+// would (record → merge → replay).
+func relaxRecordProfile(t *testing.T, opts Options, prog api.ThreadFunc) *racecheck.Profile {
+	t.Helper()
+	rec := opts
+	rec.RaceDetect = true
+	rec.RaceRelaxed = false
+	rec.RelaxProfile = nil
+	a := run(t, rec, prog)
+	b := run(t, rec, prog)
+	p, err := racecheck.MergeStable(a.RelaxProfile, b.RelaxProfile)
+	if err != nil {
+		t.Fatalf("stability merge failed: %v", err)
+	}
+	return p
+}
+
+// relaxLaggardProg is a workload whose turn-waits the profile provably
+// removes: the main thread hammers a mutex only it ever touches while a
+// spawned laggard sits at a tiny Kendo clock (it performs no synchronization
+// until it exits). Strictly ordered, every main-thread operation must wait
+// out the laggard; relaxed, the profile marks the mutex thread-local and the
+// waits elide.
+func relaxLaggardProg(th api.Thread) {
+	buf := th.Malloc(4096)
+	mine := api.Addr(64)
+	id := th.Spawn(func(c api.Thread) {
+		for i := 0; i < 64; i++ {
+			c.Store64(buf+2048+api.Addr(8*(i%32)), uint64(i))
+		}
+	})
+	for i := 0; i < 200; i++ {
+		th.Lock(mine)
+		th.Store64(buf, uint64(i))
+		th.Unlock(mine)
+	}
+	th.Join(id)
+	th.Observe(th.Load64(buf), th.Load64(buf+2048))
+}
+
+// TestRelaxedProfileElidesTurnWaits records a relaxation profile, replays
+// with it, and checks that turn-waits elide while every deterministic
+// observable stays bit-identical to the strict run.
+func TestRelaxedProfileElidesTurnWaits(t *testing.T) {
+	opts := DefaultOptions()
+	profile := relaxRecordProfile(t, opts, relaxLaggardProg)
+	if len(profile.Local) == 0 {
+		t.Fatal("recording classified no sync var as thread-local")
+	}
+
+	strict := run(t, opts, relaxLaggardProg)
+	relOpts := opts
+	relOpts.RaceRelaxed = true
+	relOpts.RelaxProfile = profile
+	relaxed := run(t, relOpts, relaxLaggardProg)
+
+	if relaxed.OutputHash != strict.OutputHash {
+		t.Fatalf("relaxation changed the output hash: %#x vs %#x",
+			relaxed.OutputHash, strict.OutputHash)
+	}
+	if relaxed.VirtualTime != strict.VirtualTime {
+		t.Fatalf("relaxation changed the virtual time: %d vs %d",
+			relaxed.VirtualTime, strict.VirtualTime)
+	}
+	if relaxed.Stats.ElidedTurnWaits == 0 {
+		t.Fatal("no turn-waits elided on a profiled thread-local mutex with a live laggard")
+	}
+	if relaxed.Stats.RelaxUnsafeFallbacks != 0 {
+		t.Fatalf("spurious fallbacks on a correct profile: %d", relaxed.Stats.RelaxUnsafeFallbacks)
+	}
+}
+
+// TestRelaxedElisionLitmus pins the propagation-elision prong on the eager
+// stack: a producer writes a region nobody reads during the run, so its
+// slices are parked rather than applied at the consumer's acquires, and the
+// final reads recover them through the fault path — with outputs and virtual
+// times bit-identical to the strict run.
+func TestRelaxedElisionLitmus(t *testing.T) {
+	prog := func(th api.Thread) {
+		region := th.Malloc(4 * 4096)
+		scratch := th.Malloc(64)
+		mu := api.Addr(64)
+		prod := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 16; i++ {
+				c.Lock(mu)
+				for j := 0; j < 256; j++ {
+					c.Store64(region+api.Addr(8*j), uint64(i*1000+j))
+				}
+				c.Unlock(mu)
+			}
+		})
+		cons := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 16; i++ {
+				c.Lock(mu)
+				c.Store64(scratch, uint64(i))
+				c.Unlock(mu)
+			}
+		})
+		th.Join(prod)
+		th.Join(cons)
+		th.Observe(th.Load64(region), th.Load64(region+8*255), th.Load64(scratch))
+	}
+
+	opts := DefaultOptions()
+	opts.LazyWrites = false // elision is an eager-path optimization
+	strict := run(t, opts, prog)
+
+	relOpts := opts
+	relOpts.RaceRelaxed = true
+	relaxed := run(t, relOpts, prog)
+
+	if relaxed.OutputHash != strict.OutputHash {
+		t.Fatalf("elision changed the output hash: %#x vs %#x",
+			relaxed.OutputHash, strict.OutputHash)
+	}
+	if relaxed.VirtualTime != strict.VirtualTime {
+		t.Fatalf("elision changed the virtual time: %d vs %d",
+			relaxed.VirtualTime, strict.VirtualTime)
+	}
+	if relaxed.Stats.SkippedSliceApplies == 0 {
+		t.Fatal("no slice applies elided for an unread region")
+	}
+	if relaxed.Stats.BytesElided == 0 {
+		t.Fatal("SkippedSliceApplies counted but BytesElided is zero")
+	}
+	if got := relaxed.Observations[0]; got[0] != 15*1000 || got[1] != 15*1000+255 || got[2] != 15 {
+		t.Fatalf("recovered values wrong: %v", got)
+	}
+}
+
+// TestRelaxedStatsReconcileWithPhaseTrace checks that every relaxation
+// counter reconciles exactly with its phase-trace marks: the two observation
+// channels must tell the same story about what was elided.
+func TestRelaxedStatsReconcileWithPhaseTrace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LazyWrites = false
+	profile := relaxRecordProfile(t, opts, relaxLaggardProg)
+
+	relOpts := opts
+	relOpts.RaceRelaxed = true
+	relOpts.RelaxProfile = profile
+	relOpts.PhaseTrace = true
+	rep := run(t, relOpts, relaxLaggardProg)
+	if rep.Phases == nil {
+		t.Fatal("phase trace missing")
+	}
+	s := rep.Stats
+	if got := rep.Phases.MarkCount(markTurnElide); got != s.ElidedTurnWaits {
+		t.Fatalf("turn-elide marks %d != ElidedTurnWaits %d", got, s.ElidedTurnWaits)
+	}
+	if got := rep.Phases.MarkCount(markSliceElide); got != s.SkippedSliceApplies {
+		t.Fatalf("slice-elide marks %d != SkippedSliceApplies %d", got, s.SkippedSliceApplies)
+	}
+	if got := rep.Phases.MarkSum(markSliceElide); got != s.BytesElided {
+		t.Fatalf("slice-elide mark bytes %d != BytesElided %d", got, s.BytesElided)
+	}
+	if got := rep.Phases.MarkCount(markRelaxFallback); got != s.RelaxUnsafeFallbacks {
+		t.Fatalf("relax-fallback marks %d != RelaxUnsafeFallbacks %d", got, s.RelaxUnsafeFallbacks)
+	}
+	if got := rep.Phases.PhaseCounts()[trace.PhaseTurnWait]; got != s.TurnWaits {
+		t.Fatalf("turn-wait spans %d != TurnWaits %d", got, s.TurnWaits)
+	}
+}
+
+// TestRelaxedFallbackLitmus feeds the runtime a deliberately wrong profile —
+// it claims a mutex two threads synchronize on is thread-local — and checks
+// the certification contract: the contradiction is detected in every run
+// (RelaxUnsafeFallbacks > 0), synchronization semantics survive it (all 20
+// mutex-protected increments land, every run), and the flagged run is what
+// signals that the profile must be discarded. Equality of timing observables
+// with the strict run is deliberately NOT asserted — a flagged run forfeits
+// that certification, which is the entire point of the flag.
+func TestRelaxedFallbackLitmus(t *testing.T) {
+	mu := api.Addr(64)
+	prog := func(th api.Thread) {
+		a := th.Malloc(8)
+		id := th.Spawn(func(c api.Thread) {
+			for i := 0; i < 10; i++ {
+				c.Lock(mu)
+				c.Store64(a, c.Load64(a)+1)
+				c.Unlock(mu)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			th.Lock(mu)
+			th.Store64(a, th.Load64(a)+1)
+			th.Unlock(mu)
+		}
+		th.Join(id)
+		th.Observe(th.Load64(a))
+	}
+
+	opts := DefaultOptions()
+	strict := run(t, opts, prog)
+
+	relOpts := opts
+	relOpts.RaceRelaxed = true
+	relOpts.RelaxProfile = &racecheck.Profile{
+		Workload: "wrong-on-purpose",
+		Runs:     1,
+		Local:    []uint64{uint64(mu)},
+	}
+	if strict.Observations[0][0] != 20 {
+		t.Fatalf("strict run count %d, want 20", strict.Observations[0][0])
+	}
+	for i := 0; i < 3; i++ {
+		rep := run(t, relOpts, prog)
+		if rep.Observations[0][0] != 20 {
+			t.Fatalf("run %d: mutual exclusion broken under a wrong profile: count %d, want 20",
+				i, rep.Observations[0][0])
+		}
+		if rep.Stats.RelaxUnsafeFallbacks == 0 {
+			t.Fatalf("run %d: contradicted profile produced no fallback", i)
+		}
+	}
+}
+
+// TestRelaxedProfileRoundTrip pins the profile text encoding: encode →
+// decode → identical, and the recorded profile actually contains the
+// laggard workload's private mutex.
+func TestRelaxedProfileRoundTrip(t *testing.T) {
+	p := relaxRecordProfile(t, DefaultOptions(), relaxLaggardProg)
+	p.Workload = "laggard"
+	back, err := racecheck.DecodeProfile(bytes.NewReader(p.Encode()))
+	if err != nil {
+		t.Fatalf("decode failed: %v", err)
+	}
+	if back.Workload != p.Workload || back.ReportHash != p.ReportHash ||
+		back.Runs != p.Runs || len(back.Local) != len(p.Local) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+	if !back.Lookup(64) {
+		t.Fatal("profiled mutex 0x40 missing from the round-tripped profile")
+	}
+}

@@ -207,9 +207,10 @@ func NewRFDetCITraced() api.Runtime {
 func PhaseTable(out io.Writer, size workloads.Size, threads int) error {
 	cfg := workloads.Config{Threads: threads, Size: size}
 	fmt.Fprintf(out, "Phase-level wall-clock breakdown (%d threads, size %s, RFDet-ci, host-dependent)\n\n", threads, size)
-	fmt.Fprintf(out, "%-18s %8s %8s %8s %8s %8s %8s %8s %9s %8s %8s\n",
+	fmt.Fprintf(out, "%-18s %8s %8s %8s %8s %8s %8s %8s %9s %8s %8s | %8s %8s %8s\n",
 		"benchmark", "turn-us", "mon-us", "diff-us", "plan-us", "apply-us",
-		"premrg-us", "lazy-us", "block-us", "user-us", "wall-us")
+		"premrg-us", "lazy-us", "block-us", "user-us", "wall-us",
+		"tw-p50", "tw-p95", "tw-p99")
 	for _, w := range workloads.All() {
 		r, err := Run(NewRFDetCITraced(), w, cfg, 1)
 		if err != nil {
@@ -221,18 +222,21 @@ func PhaseTable(out io.Writer, size workloads.Size, threads int) error {
 		}
 		tot := ph.PhaseTotals()
 		us := func(p trace.Phase) int64 { return tot[p].Microseconds() }
-		fmt.Fprintf(out, "%-18s %8d %8d %8d %8d %8d %8d %8d %9d %8d %8d\n",
+		pct := ph.PhasePercentiles()[trace.PhaseTurnWait]
+		fmt.Fprintf(out, "%-18s %8d %8d %8d %8d %8d %8d %8d %9d %8d %8d | %7dns %7dns %7dns\n",
 			w.Name,
 			us(trace.PhaseTurnWait), us(trace.PhaseMonitorWait),
 			us(trace.PhaseDiff), us(trace.PhasePlanBuild),
 			us(trace.PhaseApply), us(trace.PhasePremerge),
 			us(trace.PhaseLazyFlush), us(trace.PhaseBlock),
 			ph.UserTime().Microseconds(),
-			r.Report.Elapsed.Microseconds())
+			r.Report.Elapsed.Microseconds(),
+			pct.P50.Nanoseconds(), pct.P95.Nanoseconds(), pct.P99.Nanoseconds())
 	}
 	fmt.Fprintln(out, "\nuser-us is per-thread lifetime minus the union of recorded phase spans,")
 	fmt.Fprintln(out, "summed over threads; block-us overlaps the merge work done on a blocked")
 	fmt.Fprintln(out, "thread's behalf (premerge and barrier-merge spans nest inside block spans).")
+	fmt.Fprintln(out, "tw-p50/p95/p99 are nearest-rank percentiles over individual turn-wait spans.")
 	return nil
 }
 
@@ -398,6 +402,7 @@ func AllExperiments(out io.Writer, size workloads.Size, threads, repeats, raceyR
 		func() error { return Table1(out, size, threads) },
 		func() error { return PropagationTable(out, size, threads) },
 		func() error { return PhaseTable(out, size, threads) },
+		func() error { return RelaxationTable(out, size, threads) },
 		func() error { return Figure8(out, size, repeats) },
 		func() error { return Figure9(out, size, threads, repeats) },
 	}

@@ -1,0 +1,125 @@
+package harness
+
+// Race-aware ordering relaxation artifacts (DESIGN.md §15). A race-detecting
+// run doubles as a profiler: every sync var it observes as thread-local is a
+// turn-wait the relaxed replay may elide without changing any deterministic
+// observable. This file packages the record → stability-merge → replay loop
+// the way a deployment would run it, and renders the turn-wait-reduction
+// table EXPERIMENTS.md cites.
+
+import (
+	"fmt"
+	"io"
+
+	"rfdet/internal/api"
+	"rfdet/internal/core"
+	"rfdet/internal/racecheck"
+	"rfdet/internal/trace"
+	"rfdet/internal/workloads"
+)
+
+// RecordRelaxProfile executes the program twice under the happens-before race
+// detector (on top of the given option stack) and stability-merges the two
+// recorded relaxation profiles: the result keeps only sync vars thread-local
+// in both runs and errors if the runs' race reports disagree — a workload too
+// unstable to profile is refused, never relaxed.
+func RecordRelaxProfile(opts core.Options, prog api.ThreadFunc) (*racecheck.Profile, error) {
+	rec := opts
+	rec.RaceDetect = true
+	rec.RaceRelaxed = false
+	rec.RelaxProfile = nil
+	a, err := core.New(rec).Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("harness: relax-profile run 1: %w", err)
+	}
+	b, err := core.New(rec).Run(prog)
+	if err != nil {
+		return nil, fmt.Errorf("harness: relax-profile run 2: %w", err)
+	}
+	return racecheck.MergeStable(a.RelaxProfile, b.RelaxProfile)
+}
+
+// RelaxedServerVariant records a relaxation profile for the seeded KV-server
+// request log and returns a replica variant that replays it with
+// Options.RaceRelaxed. Appended to DefaultVariants, the divergence check then
+// enforces the relaxation soundness contract end to end: the relaxed replica
+// must stay byte-identical to every strict one.
+func RelaxedServerVariant(cfg workloads.Config, seed uint64) (ReplicaVariant, error) {
+	p, err := RecordRelaxProfile(core.DefaultOptions(), workloads.ServerSeeded(cfg, seed))
+	if err != nil {
+		return ReplicaVariant{}, err
+	}
+	o := core.DefaultOptions()
+	o.RaceRelaxed = true
+	o.RelaxProfile = p
+	o.PhaseTrace = true
+	return ReplicaVariant{Name: "relaxed", Opts: o}, nil
+}
+
+// RelaxationTable renders the turn-wait-reduction artifact: for every
+// benchmark it records a relaxation profile (two race-detecting runs,
+// stability-merged), replays strict and relaxed, and reports how many
+// turn-waits the profile removed — with the deterministic observables
+// cross-checked between the two runs on every row. Wall-clock turn-wait
+// totals are host-dependent observability; the elision counts and the
+// equal-output verdict are not.
+func RelaxationTable(out io.Writer, size workloads.Size, threads int) error {
+	cfg := workloads.Config{Threads: threads, Size: size}
+	fmt.Fprintf(out, "Race-aware ordering relaxation: turn-wait elision per benchmark (%d threads, size %s)\n\n",
+		threads, size)
+	fmt.Fprintf(out, "%-18s %6s | %9s %9s %8s %7s | %9s %9s | %6s %8s\n",
+		"benchmark", "locals",
+		"tw-strict", "tw-relax", "elided", "elide%",
+		"turn-us-s", "turn-us-r",
+		"fallbk", "verdict")
+	for _, w := range workloads.All() {
+		profile, err := RecordRelaxProfile(core.DefaultOptions(), w.Prog(cfg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+
+		strictOpts := core.DefaultOptions()
+		strictOpts.PhaseTrace = true
+		strict, err := Run(core.New(strictOpts), w, cfg, 1)
+		if err != nil {
+			return err
+		}
+		relOpts := strictOpts
+		relOpts.RaceRelaxed = true
+		relOpts.RelaxProfile = profile
+		relaxed, err := Run(core.New(relOpts), w, cfg, 1)
+		if err != nil {
+			return err
+		}
+
+		sr, ss := relaxed.Report.Stats, strict.Report.Stats
+		verdict := "EQUAL"
+		if relaxed.Report.OutputHash != strict.Report.OutputHash ||
+			relaxed.Report.VirtualTime != strict.Report.VirtualTime {
+			verdict = "DIVERGED"
+		}
+		elidePct := 0.0
+		if attempted := sr.TurnWaits + sr.ElidedTurnWaits; attempted > 0 {
+			elidePct = 100 * float64(sr.ElidedTurnWaits) / float64(attempted)
+		}
+		fmt.Fprintf(out, "%-18s %6d | %9d %9d %8d %6.1f%% | %9d %9d | %6d %8s\n",
+			w.Name, len(profile.Local),
+			ss.TurnWaits, sr.TurnWaits, sr.ElidedTurnWaits, elidePct,
+			strict.Report.Phases.PhaseTotals()[trace.PhaseTurnWait].Microseconds(),
+			relaxed.Report.Phases.PhaseTotals()[trace.PhaseTurnWait].Microseconds(),
+			sr.RelaxUnsafeFallbacks, verdict)
+		if verdict != "EQUAL" {
+			return fmt.Errorf("harness: %s relaxed run diverged from strict (fallbacks %d)",
+				w.Name, sr.RelaxUnsafeFallbacks)
+		}
+		if sr.RelaxUnsafeFallbacks != 0 {
+			return fmt.Errorf("harness: %s: correct profile produced %d fallbacks",
+				w.Name, sr.RelaxUnsafeFallbacks)
+		}
+	}
+	fmt.Fprintln(out, "\nlocals is the profiled thread-local sync-var count; elided turn-waits skip the")
+	fmt.Fprintln(out, "Kendo spin entirely (prong 2). Every relaxed run is byte-compared against its")
+	fmt.Fprintln(out, "strict twin — EQUAL means identical output hash and virtual time, and a correct")
+	fmt.Fprintln(out, "profile must finish with zero unsafe fallbacks (the certification contract).")
+	return nil
+}

@@ -241,32 +241,44 @@ func MatrixVariants() []ReplicaVariant {
 }
 
 // ReplicaTable renders the replica-divergence artifact: k replicas of the
-// same KV-server request log across differing optimization stacks, their
-// deterministic fingerprints, requests/sec in virtual and host time, and the
-// per-request phase breakdown from the phase trace. It errors if any replica
-// diverges — this table doubles as the end-to-end wall rfdet-bench runs.
+// same KV-server request log across differing optimization stacks — plus one
+// race-relaxed replica replaying a freshly recorded relaxation profile —
+// their deterministic fingerprints, requests/sec in virtual and host time,
+// and the per-request phase breakdown from the phase trace. It errors if any
+// replica diverges — this table doubles as the end-to-end wall rfdet-bench
+// runs, and the relaxed replica's row enforces the §15 soundness contract
+// against every strict stack at once.
 func ReplicaTable(out io.Writer, size workloads.Size, threads, k int) error {
 	cfg := workloads.Config{Threads: threads, Size: size}
-	rep := RunServerReplicas(cfg, workloads.DefaultServerSeed, DefaultVariants(k))
-	fmt.Fprintf(out, "KV-server replica divergence check (%d replicas, %d worker threads, size %s, %d requests)\n\n",
-		k, threads, size, rep.Requests)
-	fmt.Fprintf(out, "%-16s %5s %18s %18s %12s %10s %10s | %8s %8s %8s\n",
+	variants := DefaultVariants(k)
+	relaxed, err := RelaxedServerVariant(cfg, workloads.DefaultServerSeed)
+	if err != nil {
+		return err
+	}
+	variants = append(variants, relaxed)
+	rep := RunServerReplicas(cfg, workloads.DefaultServerSeed, variants)
+	fmt.Fprintf(out, "KV-server replica divergence check (%d replicas incl. race-relaxed, %d worker threads, size %s, %d requests)\n\n",
+		len(rep.Runs), threads, size, rep.Requests)
+	fmt.Fprintf(out, "%-16s %5s %18s %18s %12s %10s %10s | %8s %8s %8s | %8s %8s %8s\n",
 		"replica", "procs", "state", "responses", "vtime", "req/s(v)", "req/s(w)",
-		"turn", "diff", "apply")
+		"turn", "diff", "apply",
+		"tw-p50", "tw-p95", "tw-p99")
 	for _, run := range rep.Runs {
 		if run.Err != nil {
 			fmt.Fprintf(out, "%-16s %5d divergent-by-abort: %v\n", run.Variant, run.Procs, run.Err)
 			continue
 		}
 		per := run.Phases.PerOp(uint64(rep.Requests))
-		fmt.Fprintf(out, "%-16s %5d %#018x %#018x %12d %10.0f %10.0f | %7dns %7dns %7dns\n",
+		pct := run.Phases.PhasePercentiles()[trace.PhaseTurnWait]
+		fmt.Fprintf(out, "%-16s %5d %#018x %#018x %12d %10.0f %10.0f | %7dns %7dns %7dns | %7dns %7dns %7dns\n",
 			run.Variant, run.Procs,
 			run.Summary.StateHash, run.Summary.ResponseHash,
 			run.VirtualTime,
 			run.ReqPerSecVirtual(rep.Requests), run.ReqPerSecHost(rep.Requests),
 			per[trace.PhaseTurnWait].Nanoseconds(),
 			per[trace.PhaseDiff].Nanoseconds(),
-			per[trace.PhaseApply].Nanoseconds())
+			per[trace.PhaseApply].Nanoseconds(),
+			pct.P50.Nanoseconds(), pct.P95.Nanoseconds(), pct.P99.Nanoseconds())
 	}
 	if rep.Divergent() {
 		for _, d := range rep.Divergences {
@@ -276,7 +288,8 @@ func ReplicaTable(out io.Writer, size workloads.Size, threads, k int) error {
 	}
 	fmt.Fprintln(out, "\nEvery replica produced byte-identical state/response hashes, observation logs")
 	fmt.Fprintln(out, "and virtual times: the active-replication property, checked end to end. req/s(v)")
-	fmt.Fprintln(out, "is deterministic virtual-time throughput; req/s(w) and the per-request phase")
-	fmt.Fprintln(out, "costs (turn-wait, diff, apply) are host-dependent observability.")
+	fmt.Fprintln(out, "is deterministic virtual-time throughput; req/s(w), the per-request phase costs")
+	fmt.Fprintln(out, "(turn-wait, diff, apply) and the turn-wait span percentiles (tw-p50/p95/p99,")
+	fmt.Fprintln(out, "nearest-rank over individual spans) are host-dependent observability.")
 	return nil
 }

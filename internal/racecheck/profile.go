@@ -1,0 +1,167 @@
+package racecheck
+
+// The relaxation profile: the detect-then-relax half of Options.RaceRelaxed
+// (Guo et al.'s architecture — detect races completely once, then relax the
+// enforcement mechanism wherever the detection proved it redundant).
+//
+// A profile run executes the program under race detection and emits the set
+// of sync-var addresses that were only ever touched by a single thread,
+// stamped with a stability digest (the race report's hash). A replay run
+// loads the profile and elides Kendo turn-waits on exactly those addresses;
+// the first synchronization that contradicts the profile — a second thread
+// touching a profiled address — permanently poisons that address and falls
+// back to the seed's full ordering (Stats.RelaxUnsafeFallbacks).
+//
+// "Stable across runs" is checked by recording at least twice and merging
+// with MergeStable: addresses survive only if every recording run agreed
+// they were thread-local, and the merge fails loudly if the race reports
+// themselves differ (a program whose race report is not reproducible has no
+// business being relaxed).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// profileMagic is the first line of the encoded form; bump the version when
+// the format changes.
+const profileMagic = "rfdet-relax-profile v1"
+
+// Profile is a relaxation profile: the sync-var addresses a recording run
+// observed as thread-local, plus the digest that ties the profile to the
+// race behavior it was recorded under.
+type Profile struct {
+	// Workload names the program the profile was recorded from. Purely
+	// descriptive; the runtime does not verify it.
+	Workload string
+	// ReportHash is the recording run's race-report hash — the stability
+	// digest. MergeStable requires it to be identical across recording runs.
+	ReportHash uint64
+	// Runs counts the recording runs merged into this profile.
+	Runs int
+	// Local is the sorted list of sync-var addresses observed thread-local:
+	// every synchronization operation on the address came from one thread.
+	Local []uint64
+}
+
+// Profile derives a relaxation profile from this detector's recorded
+// synchronization uses and race report. Call after the run completes.
+func (d *Detector) Profile(workload string) *Profile {
+	if d == nil {
+		return nil
+	}
+	p := &Profile{Workload: workload, ReportHash: d.Analyze().Hash(), Runs: 1}
+	d.mu.Lock()
+	for addr, u := range d.syncUses {
+		if !u.multi {
+			p.Local = append(p.Local, addr)
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(p.Local, func(i, j int) bool { return p.Local[i] < p.Local[j] })
+	return p
+}
+
+// Lookup reports whether addr is in the profile's thread-local set.
+func (p *Profile) Lookup(addr uint64) bool {
+	if p == nil {
+		return false
+	}
+	i := sort.Search(len(p.Local), func(i int) bool { return p.Local[i] >= addr })
+	return i < len(p.Local) && p.Local[i] == addr
+}
+
+// MergeStable merges two recording runs' profiles into one, keeping only
+// addresses both runs observed thread-local. It fails if the stability
+// digests disagree — the program's race behavior was not reproducible, so
+// no relaxation is safe to derive from it.
+func MergeStable(a, b *Profile) (*Profile, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("racecheck: cannot merge nil profile")
+	}
+	if a.ReportHash != b.ReportHash {
+		return nil, fmt.Errorf("racecheck: unstable race report across recording runs (%#x vs %#x)",
+			a.ReportHash, b.ReportHash)
+	}
+	out := &Profile{Workload: a.Workload, ReportHash: a.ReportHash, Runs: a.Runs + b.Runs}
+	i, j := 0, 0
+	for i < len(a.Local) && j < len(b.Local) {
+		switch {
+		case a.Local[i] < b.Local[j]:
+			i++
+		case a.Local[i] > b.Local[j]:
+			j++
+		default:
+			out.Local = append(out.Local, a.Local[i])
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Encode renders the profile in its canonical text form: deterministic,
+// diffable, and stable enough to live in CI artifacts.
+func (p *Profile) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", profileMagic)
+	fmt.Fprintf(&b, "workload %s\n", p.Workload)
+	fmt.Fprintf(&b, "reporthash %#016x\n", p.ReportHash)
+	fmt.Fprintf(&b, "runs %d\n", p.Runs)
+	for _, a := range p.Local {
+		fmt.Fprintf(&b, "local %#x\n", a)
+	}
+	return []byte(b.String())
+}
+
+// DecodeProfile parses the canonical text form.
+func DecodeProfile(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || sc.Text() != profileMagic {
+		return nil, fmt.Errorf("racecheck: not a relaxation profile (want %q)", profileMagic)
+	}
+	p := &Profile{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("racecheck: malformed profile line %q", line)
+		}
+		switch key {
+		case "workload":
+			p.Workload = val
+		case "reporthash":
+			h, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("racecheck: bad reporthash %q: %v", val, err)
+			}
+			p.ReportHash = h
+		case "runs":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("racecheck: bad runs %q: %v", val, err)
+			}
+			p.Runs = n
+		case "local":
+			a, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("racecheck: bad local addr %q: %v", val, err)
+			}
+			p.Local = append(p.Local, a)
+		default:
+			return nil, fmt.Errorf("racecheck: unknown profile key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(p.Local, func(i, j int) bool { return p.Local[i] < p.Local[j] })
+	return p, nil
+}

@@ -282,6 +282,95 @@ func (r *Report) PerOp(n uint64) [NumPhases]time.Duration {
 	return per
 }
 
+// Percentiles are nearest-rank latency percentiles over one phase's span
+// durations — the per-op distribution view that complements PerOp's means.
+type Percentiles struct {
+	P50, P95, P99 time.Duration
+}
+
+// PhasePercentiles computes nearest-rank p50/p95/p99 span-duration
+// percentiles per phase across all threads. Phases with no spans yield
+// zeros. Like everything in this package the result is wall-clock host
+// noise: render it, never hash it.
+func (r *Report) PhasePercentiles() [NumPhases]Percentiles {
+	var out [NumPhases]Percentiles
+	if r == nil {
+		return out
+	}
+	var durs [NumPhases][]int64
+	for _, tl := range r.Threads {
+		for _, s := range tl.Spans {
+			if s.Phase < NumPhases {
+				durs[s.Phase] = append(durs[s.Phase], s.Dur)
+			}
+		}
+	}
+	for p := range durs {
+		d := durs[p]
+		if len(d) == 0 {
+			continue
+		}
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		out[p] = Percentiles{
+			P50: time.Duration(d[nearestRank(len(d), 50)]),
+			P95: time.Duration(d[nearestRank(len(d), 95)]),
+			P99: time.Duration(d[nearestRank(len(d), 99)]),
+		}
+	}
+	return out
+}
+
+// nearestRank returns the index of the pct-th nearest-rank percentile in a
+// sorted list of n > 0 elements: ceil(n*pct/100), clamped to [1, n], as a
+// zero-based index.
+func nearestRank(n, pct int) int {
+	i := (n*pct + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
+}
+
+// MarkCount counts cross-linked marks with the given op across all threads.
+// The relaxation reconciliation test matches mark counts against the Stats
+// counters (turn-elide ↔ ElidedTurnWaits, slice-elide ↔ SkippedSliceApplies,
+// relax-fallback ↔ RelaxUnsafeFallbacks).
+func (r *Report) MarkCount(op string) uint64 {
+	var n uint64
+	if r == nil {
+		return n
+	}
+	for _, tl := range r.Threads {
+		for _, m := range tl.Marks {
+			if m.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MarkSum sums the Addr payloads of marks with the given op. slice-elide
+// marks carry the elided byte count in Addr, so MarkSum("slice-elide")
+// reconciles against Stats.BytesElided.
+func (r *Report) MarkSum(op string) uint64 {
+	var n uint64
+	if r == nil {
+		return n
+	}
+	for _, tl := range r.Threads {
+		for _, m := range tl.Marks {
+			if m.Op == op {
+				n += m.Addr
+			}
+		}
+	}
+	return n
+}
+
 // UserTime estimates user compute: the sum over threads of lifetime not
 // covered by any recorded span. Because premerge, plan-build and
 // barrier-merge spans nest inside other spans (a waiter's block, an apply),
