@@ -1,0 +1,156 @@
+// Arena-backed bump allocation for runtime-internal byte payloads.
+//
+// The deterministic Allocator above hands out *simulated* shared-memory
+// addresses; the types in this file manage real host memory. They exist for
+// the epoch-based slicestore: committed slices intern their run payloads into
+// a per-segment Arena, and when garbage collection drops a whole segment the
+// segment's chunks go back to a ChunkPool instead of to the Go garbage
+// collector. Steady-state propagation then recycles a fixed set of chunks
+// rather than allocating fresh payload buffers on every commit.
+//
+// Host-memory recycling is invisible to the deterministic observables: the
+// bytes a reader sees are fixed at intern time, and reclamation is gated on
+// the vclock frontier plus the store's pin protocol (see slicestore), so no
+// live reader can observe a recycled chunk.
+package alloc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the byte size of pooled arena chunks. 64 KiB amortizes pool
+// traffic across many runs while keeping per-segment overhead small.
+const ChunkSize = 64 << 10
+
+// PoisonByte fills recycled chunks when poisoning is enabled — a test hook
+// that turns any read-after-reclaim of interned payload bytes into a loud,
+// deterministic corruption instead of a silent stale read.
+const PoisonByte = 0xDB
+
+// ChunkPool recycles fixed-size byte chunks through a LIFO free list, in the
+// style of the size-class free lists of the deterministic Allocator.
+type ChunkPool struct {
+	mu   sync.Mutex
+	free [][]byte
+
+	allocated atomic.Uint64 // chunks ever created
+	reused    atomic.Uint64 // gets served from the free list
+	poison    atomic.Bool
+}
+
+// NewChunkPool returns an empty pool.
+func NewChunkPool() *ChunkPool { return &ChunkPool{} }
+
+// Get returns a ChunkSize-byte chunk, reusing a freed one when available.
+// Reused chunks are returned as-is (possibly poisoned); the Arena only ever
+// reads back bytes it has written.
+func (p *ChunkPool) Get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reused.Add(1)
+		return c
+	}
+	p.mu.Unlock()
+	p.allocated.Add(1)
+	return make([]byte, ChunkSize)
+}
+
+// Put returns a chunk to the pool. Chunks of the wrong size (never produced
+// by Get) are dropped. With poisoning enabled the chunk is overwritten with
+// PoisonByte first, so any alias still pointing into it reads garbage.
+func (p *ChunkPool) Put(c []byte) {
+	if cap(c) != ChunkSize {
+		return
+	}
+	c = c[:ChunkSize]
+	if p.poison.Load() {
+		for i := range c {
+			c[i] = PoisonByte
+		}
+	}
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// SetPoison toggles poison-on-free. Test hook; off by default.
+func (p *ChunkPool) SetPoison(on bool) { p.poison.Store(on) }
+
+// Allocated returns the number of chunks ever created by Get.
+func (p *ChunkPool) Allocated() uint64 { return p.allocated.Load() }
+
+// Reused returns the number of Gets served from the free list.
+func (p *ChunkPool) Reused() uint64 { return p.reused.Load() }
+
+// Arena is a chunked bump allocator over a ChunkPool. Alloc carves byte
+// slices out of the current chunk, pulling a fresh chunk from the pool when
+// the current one is exhausted; there is no per-allocation free. Release
+// hands every pooled chunk back at once. Allocations larger than a chunk get
+// a dedicated, unpooled block that simply falls to the Go collector on
+// release — oversize payloads are rare and not worth a size-class ladder.
+//
+// An Arena is not safe for concurrent use; the slicestore guards each
+// segment's arena with its stripe mutex.
+type Arena struct {
+	pool   *ChunkPool
+	chunks [][]byte // filled + current chunks, in allocation order
+	off    int      // bump offset into chunks[len(chunks)-1]
+	bytes  uint64   // total bytes handed out
+}
+
+// NewArena returns an empty arena drawing from pool.
+func NewArena(pool *ChunkPool) *Arena { return &Arena{pool: pool} }
+
+// Alloc returns a length-n slice of arena memory. The slice is valid until
+// Release; its contents are whatever the caller writes (reused chunks are
+// not cleared). Zero-length requests share an empty view of the current
+// chunk rather than allocating.
+func (a *Arena) Alloc(n int) []byte {
+	a.bytes += uint64(n)
+	if n > ChunkSize {
+		b := make([]byte, n)
+		// Dedicated block: keep it out of the bump chunk sequence by
+		// inserting before the current chunk, so the bump offset still
+		// refers to the last element.
+		if len(a.chunks) == 0 {
+			a.chunks = append(a.chunks, b)
+			a.off = ChunkSize // force a fresh chunk for the next small alloc
+			return b
+		}
+		last := len(a.chunks) - 1
+		a.chunks = append(a.chunks[:last], b, a.chunks[last])
+		return b
+	}
+	if len(a.chunks) == 0 || a.off+n > ChunkSize || cap(a.chunks[len(a.chunks)-1]) != ChunkSize {
+		a.chunks = append(a.chunks, a.pool.Get())
+		a.off = 0
+	}
+	cur := a.chunks[len(a.chunks)-1]
+	b := cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+// Bytes returns the total payload bytes handed out by Alloc.
+func (a *Arena) Bytes() uint64 { return a.bytes }
+
+// Release returns all pooled chunks to the pool and resets the arena.
+// Oversize blocks are dropped (collected by the Go runtime). The caller must
+// guarantee no allocation from this arena is still reachable by a reader —
+// in the slicestore that guarantee is the epoch pin protocol.
+func (a *Arena) Release() {
+	for i, c := range a.chunks {
+		if cap(c) == ChunkSize {
+			a.pool.Put(c)
+		}
+		a.chunks[i] = nil
+	}
+	a.chunks = a.chunks[:0]
+	a.off = 0
+	a.bytes = 0
+}

@@ -1,0 +1,125 @@
+package alloc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestArenaBumpDoesNotAlias(t *testing.T) {
+	a := NewArena(NewChunkPool())
+	var got [][]byte
+	for i := 0; i < 100; i++ {
+		b := a.Alloc(100)
+		if len(b) != 100 {
+			t.Fatalf("Alloc(100) returned len %d", len(b))
+		}
+		for j := range b {
+			b[j] = byte(i)
+		}
+		got = append(got, b)
+	}
+	for i, b := range got {
+		for j, x := range b {
+			if x != byte(i) {
+				t.Fatalf("allocation %d byte %d = %#x: allocations alias", i, j, x)
+			}
+		}
+	}
+	if a.Bytes() != 100*100 {
+		t.Fatalf("Bytes = %d, want %d", a.Bytes(), 100*100)
+	}
+}
+
+func TestArenaAllocCannotGrowIntoNeighbor(t *testing.T) {
+	a := NewArena(NewChunkPool())
+	b1 := a.Alloc(8)
+	b2 := a.Alloc(8)
+	copy(b2, "neighbor")
+	// Appending to a full-capacity slice must reallocate, not overwrite the
+	// adjacent allocation in the shared chunk.
+	b1 = append(b1, 0xFF)
+	_ = b1
+	if string(b2) != "neighbor" {
+		t.Fatalf("append through b1 overwrote b2: %q", b2)
+	}
+}
+
+func TestArenaChunkReuse(t *testing.T) {
+	pool := NewChunkPool()
+	a := NewArena(pool)
+	for i := 0; i < 4*ChunkSize/256; i++ {
+		a.Alloc(256)
+	}
+	if pool.Allocated() < 4 {
+		t.Fatalf("expected at least 4 chunks allocated, got %d", pool.Allocated())
+	}
+	a.Release()
+
+	// A second arena of the same shape must run entirely on recycled chunks.
+	before := pool.Allocated()
+	b := NewArena(pool)
+	for i := 0; i < 4*ChunkSize/256; i++ {
+		b.Alloc(256)
+	}
+	if pool.Allocated() != before {
+		t.Fatalf("second arena allocated %d fresh chunks; want all reused", pool.Allocated()-before)
+	}
+	if pool.Reused() < 4 {
+		t.Fatalf("Reused = %d, want >= 4", pool.Reused())
+	}
+}
+
+func TestArenaOversizeAllocation(t *testing.T) {
+	pool := NewChunkPool()
+	a := NewArena(pool)
+	small := a.Alloc(16)
+	copy(small, "0123456789abcdef")
+	big := a.Alloc(ChunkSize + 1)
+	for i := range big {
+		big[i] = 0x5A
+	}
+	// The oversize block must not disturb the open chunk: a subsequent small
+	// allocation still bumps within it, right after the first one.
+	next := a.Alloc(16)
+	copy(next, "fedcba9876543210")
+	if string(small) != "0123456789abcdef" {
+		t.Fatalf("oversize alloc corrupted earlier allocation: %q", small)
+	}
+	for i, x := range big {
+		if x != 0x5A {
+			t.Fatalf("oversize byte %d = %#x", i, x)
+		}
+	}
+	a.Release()
+	// Oversize blocks are dropped, not pooled: nothing in the free list may
+	// have their capacity.
+	c := pool.Get()
+	if cap(c) != ChunkSize {
+		t.Fatalf("pool returned chunk with cap %d", cap(c))
+	}
+}
+
+func TestChunkPoolPoison(t *testing.T) {
+	pool := NewChunkPool()
+	pool.SetPoison(true)
+	a := NewArena(pool)
+	b := a.Alloc(64)
+	for i := range b {
+		b[i] = 1
+	}
+	a.Release()
+	// The released chunk was poisoned; a stale alias must read 0xDB, not the
+	// old payload.
+	if !bytes.Equal(b, bytes.Repeat([]byte{PoisonByte}, 64)) {
+		t.Fatalf("released arena memory not poisoned: %v", b[:8])
+	}
+}
+
+func TestChunkPoolDropsForeignBuffers(t *testing.T) {
+	pool := NewChunkPool()
+	pool.Put(make([]byte, 123))
+	c := pool.Get()
+	if cap(c) != ChunkSize {
+		t.Fatalf("pool handed back a foreign buffer, cap %d", cap(c))
+	}
+}

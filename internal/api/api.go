@@ -143,8 +143,24 @@ type Stats struct {
 	MetadataBytes    uint64 // high-water metadata-space usage
 	MetadataCapacity uint64 // configured metadata-space size
 
-	// Garbage collection (Table 1, "GC").
-	GCCount uint64 // slice garbage-collection passes
+	// Garbage collection (Table 1, "GC"). GCCount counts only passes that
+	// reclaimed at least one slice; passes triggered (typically by snapshot
+	// churn crossing the threshold) that found nothing below the frontier
+	// are reported separately as GCEmptyPasses, so they cannot inflate the
+	// Table 1 column.
+	GCCount       uint64 // reclaiming slice garbage-collection passes
+	GCEmptyPasses uint64 // GC passes that reclaimed nothing
+
+	// Epoch-store observability (Options.EpochStore; internal/slicestore
+	// epoch.go). Segment counts and arena-recycling counters from the
+	// log-structured metadata space; all zero under the map store. Chunk
+	// reuse is host-dependent observability (it depends on when GC passes
+	// land relative to commits), never part of the deterministic output.
+	StoreSegments        uint64 // live epoch segments at run end
+	StoreSegmentsDropped uint64 // whole segments reclaimed by GC
+	ArenaChunksAllocated uint64 // arena chunks ever created
+	ArenaChunksReused    uint64 // arena chunk requests served by recycling
+	ArenaBytesInterned   uint64 // payload bytes copied into segment arenas
 
 	// DLRC internals (optimization studies, §4.5).
 	SlicesCreated           uint64 // slices ended with a non-empty or empty mod list
@@ -287,6 +303,14 @@ func (s *Stats) Add(other *Stats) {
 		s.MetadataBytes = other.MetadataBytes
 	}
 	s.GCCount += other.GCCount
+	s.GCEmptyPasses += other.GCEmptyPasses
+	if other.StoreSegments > s.StoreSegments {
+		s.StoreSegments = other.StoreSegments
+	}
+	s.StoreSegmentsDropped += other.StoreSegmentsDropped
+	s.ArenaChunksAllocated += other.ArenaChunksAllocated
+	s.ArenaChunksReused += other.ArenaChunksReused
+	s.ArenaBytesInterned += other.ArenaBytesInterned
 }
 
 // MemOps returns the total number of instrumented memory operations.

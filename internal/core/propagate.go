@@ -360,7 +360,7 @@ func (e *exec) prepareAcquireLocked(w *thread, sh *monShard, sv *syncVar, handof
 		slices = w.acquireFromCollectLocked(sig.tid, sig.v, sig.vt)
 	}
 	slices = append(slices, w.acquireCollectLocked(sh, sv)...)
-	return wakeEvent{vt: w.vt, slices: slices}
+	return wakeEvent{vt: w.vt, slices: slices, pin: e.pinFor(slices)}
 }
 
 // premergeLocked applies slices to thread w as a prelock pre-merge,

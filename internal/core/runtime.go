@@ -87,6 +87,18 @@ type Options struct {
 	// GCThresholdPct triggers slice garbage collection at this metadata
 	// usage percentage (default 90 as in §5.4).
 	GCThresholdPct int
+	// EpochStore selects the log-structured epoch implementation of the
+	// metadata space (slicestore.EpochStore): commits append into per-stripe
+	// arena-backed segments whose run payloads are interned and recycled,
+	// and garbage collection drops whole segments against the vclock
+	// frontier instead of sweeping a map under a mutex. Off reproduces the
+	// seed's map store. Results are identical either way — the store only
+	// changes how payload memory is owned and reclaimed, never which bytes
+	// a reader sees — so outputs, virtual times, traces and race reports
+	// are bit-identical across this option (pinned by the fuzz and
+	// seed-regression walls, RFDET_EPOCHSTORE axis). DefaultOptions enables
+	// it.
+	EpochStore bool
 	// NoCommHint implements the eager-collection extension sketched at the
 	// end of §5.4: it names threads that the programmer asserts never
 	// communicate through shared memory after their creation (pure fork/
@@ -173,6 +185,7 @@ func DefaultOptions() Options {
 		Prelock:      true,
 		LazyWrites:   true,
 		ShardCount:   4,
+		EpochStore:   true,
 	}
 }
 
@@ -205,7 +218,7 @@ type exec struct {
 	opts   Options
 	sched  *kendo.Sched
 	alloc  *alloc.Allocator
-	store  *slicestore.Store
+	store  slicestore.Store
 	tracer *tracer
 	// phases is the phase-level observability collector (nil unless
 	// Options.PhaseTrace): per-thread wall-clock span buffers, rendered
@@ -306,6 +319,26 @@ type wakeEvent struct {
 	// slices are the pre-collected propagated slices the woken thread must
 	// apply to its private memory before returning to user code.
 	slices []*slicestore.Slice
+	// pin holds the store's reclamation epoch open while the woken thread
+	// applies the slices: the waker takes it under the same turn that
+	// collected them, so an intervening GC pass cannot recycle their
+	// payload memory before the off-monitor apply reads it. The sleeper
+	// releases it after applying (the zero pin is a no-op, covering wakes
+	// that carry no slices; an abort wake leaks it harmlessly — the
+	// execution is unwinding).
+	pin slicestore.Pin
+}
+
+// pinFor takes a store pin covering a deferred application of the given
+// collected slices. It must be called while the collector still holds the
+// deterministic turn (Collect passes only run under a turn, so the pin is
+// ordered before any pass that could reclaim the slices). No pin is needed
+// for an empty collection.
+func (e *exec) pinFor(slices []*slicestore.Slice) slicestore.Pin {
+	if len(slices) == 0 {
+		return slicestore.Pin{}
+	}
+	return e.store.Pin()
 }
 
 // signalRecord carries the release information of a cond signal to the
@@ -337,8 +370,12 @@ func newExec(opts Options) *exec {
 		opts:    opts,
 		sched:   kendo.NewSched(),
 		alloc:   alloc.New(),
-		store:   slicestore.NewStriped(opts.MetadataCapacity, opts.GCThresholdPct, opts.ShardCount),
 		diffSem: make(chan struct{}, workers), //detvet:nativesync semaphore bounding the diff worker pool; tokens carry no data.
+	}
+	if opts.EpochStore {
+		e.store = slicestore.NewEpochStore(opts.MetadataCapacity, opts.GCThresholdPct, opts.ShardCount)
+	} else {
+		e.store = slicestore.NewStriped(opts.MetadataCapacity, opts.GCThresholdPct, opts.ShardCount)
 	}
 	for i := 0; i < opts.ShardCount; i++ {
 		e.shards = append(e.shards, &monShard{id: i, syncvars: make(map[api.Addr]*syncVar)})
@@ -488,7 +525,7 @@ func (e *exec) threadExit(t *thread, abnormal bool) {
 		// it must apply once awake. The acquire advances j.vt, so the
 		// event's virtual time is read after it.
 		slices := j.acquireFromCollectLocked(int32(t.id), t.exitV, t.exitVT)
-		e.wakeLocked(j, wakeEvent{vt: j.vt, slices: slices})
+		e.wakeLocked(j, wakeEvent{vt: j.vt, slices: slices, pin: e.pinFor(slices)})
 	}
 	t.joiners = nil
 	// The Exited flip must come AFTER the joiner wakeups: it is this
@@ -658,6 +695,13 @@ func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
 	rep.Stats.MetadataBytes = e.store.HighWater()
 	rep.Stats.MetadataCapacity = e.store.Capacity()
 	rep.Stats.GCCount = e.store.GCCount()
+	rep.Stats.GCEmptyPasses = e.store.EmptyGCCount()
+	m := e.store.Metrics()
+	rep.Stats.StoreSegments = m.SegmentsLive
+	rep.Stats.StoreSegmentsDropped = m.SegmentsDropped
+	rep.Stats.ArenaChunksAllocated = m.ArenaChunksAllocated
+	rep.Stats.ArenaChunksReused = m.ArenaChunksReused
+	rep.Stats.ArenaBytesInterned = m.ArenaBytesInterned
 	rep.Stats.RuntimeMemBytes = uint64(e.maxLive)*e.alloc.HighWater() + e.store.HighWater()
 	// Attached after the hash: phase spans are wall-clock observability and
 	// the race report, while itself deterministic, must never influence the

@@ -111,6 +111,7 @@ func (t *thread) Lock(m api.Addr) {
 		t.beginSlice()
 		e.syncEvent(t, "lock", m)
 		t.applySlices(ev.slices, false)
+		ev.pin.Release()
 		return
 	}
 
@@ -129,12 +130,17 @@ func (t *thread) Lock(m api.Addr) {
 	}
 	t.endSliceDropShard(sh)
 	slices := t.acquireCollectLocked(sh, sv)
+	// Pinned before finishOpLocked passes the turn: the apply below runs
+	// off-monitor, where another thread's turn may run a GC pass over the
+	// just-collected slices.
+	pin := e.pinFor(slices)
 	t.beginSlice()
 	e.syncEvent(t, "lock", m)
 	t.finishOpLocked()
 	t.relaxElided = false
 	sh.mu.Unlock()
 	t.applySlices(slices, false)
+	pin.Release()
 }
 
 // handoffLocked grants a released mutex to the head of its queue: the
@@ -245,6 +251,7 @@ func (t *thread) Wait(c, m api.Addr) {
 	t.beginSlice()
 	e.syncEvent(t, "wake", c)
 	t.applySlices(ev.slices, false)
+	ev.pin.Release()
 }
 
 // Signal implements pthread_cond_signal (§4.1): a release whose timestamp
@@ -570,14 +577,19 @@ func (t *thread) Join(id api.ThreadID) {
 		t.beginSlice()
 		e.syncEvent(t, "join", api.Addr(id))
 		t.applySlices(ev.slices, false)
+		ev.pin.Release()
 		return
 	}
 	slices := t.acquireFromCollectLocked(int32(target.id), target.exitV, target.exitVT)
+	// Pinned under the rendezvous: the apply below runs after the turn and
+	// the rendezvous are released.
+	pin := e.pinFor(slices)
 	t.beginSlice()
 	e.syncEvent(t, "join", api.Addr(id))
 	t.finishOpLocked()
 	e.releaseRendezvous(t)
 	t.applySlices(slices, false)
+	pin.Release()
 }
 
 // AtomicAdd64 is the §4.6 low-level-atomics extension: a Kendo-ordered
@@ -624,9 +636,13 @@ func (t *thread) atomicOp(a api.Addr, op func(cur uint64) (newVal uint64, wrote 
 		// The acquired updates must be resident before the word is read, but
 		// applying them touches only this thread's private space: drop the
 		// domain around the application like any other acquire path. The
-		// turn is still held, so the monitor state cannot shift meanwhile.
+		// turn is still held, so the monitor state cannot shift meanwhile —
+		// which also means no GC pass can run; the pin simply keeps every
+		// deferred-apply window under the same discipline.
+		pin := e.pinFor(slices)
 		sh.mu.Unlock()
 		t.applySlices(slices, false)
+		pin.Release()
 		e.relockShard(t, sh)
 	}
 	cur := t.space.Load64(uint64(a)) // flushes lazily pended updates if any

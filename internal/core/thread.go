@@ -651,6 +651,15 @@ func (t *thread) pendSlice(s *slicestore.Slice) {
 			for _, r := range runs {
 				pe.patch.AddRun(r)
 			}
+		} else if t.exec.opts.EpochStore {
+			// The raw pend path retains run payloads until the page is
+			// accessed — indefinitely, if it never is. Under the epoch store
+			// those payloads live in segment arena memory that is recycled
+			// once the slice is collected, so the pend must own copies.
+			// (The patch path above copies in AddRun.)
+			for _, r := range runs {
+				pe.raw = append(pe.raw, mem.Run{Addr: r.Addr, Data: append([]byte(nil), r.Data...)})
+			}
 		} else {
 			pe.raw = append(pe.raw, runs...)
 		}

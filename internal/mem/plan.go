@@ -27,27 +27,56 @@ package mem
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // pageBufPool recycles page-sized staging buffers: plan construction, lazy
 // pending patches and page snapshots each need a scratch 4 KiB buffer per
 // touched page, and allocating one per first-touch per slice is measurable
-// on snapshot-heavy workloads.
-var pageBufPool = sync.Pool{New: func() any { return new([PageSize]byte) }}
+// on snapshot-heavy workloads. It is the page-granular sibling of the
+// slicestore's arena chunk pool: both recycle fixed-size payload buffers
+// with a poison-on-free test hook, but staging buffers have per-buffer
+// lifetimes (Release at patch teardown) rather than per-segment ones, so a
+// per-P sync.Pool fits them where a bump arena would not.
+var (
+	pageBufPool   = sync.Pool{New: func() any { pageBufNews.Add(1); return new([PageSize]byte) }}
+	pageBufGets   atomic.Uint64
+	pageBufNews   atomic.Uint64
+	pageBufPoison atomic.Bool
+)
 
 // GetPageBuf returns a page-sized buffer from the pool. Its contents are
 // unspecified; callers must not read bytes they have not written.
-func GetPageBuf() []byte { return pageBufPool.Get().(*[PageSize]byte)[:] }
+func GetPageBuf() []byte {
+	pageBufGets.Add(1)
+	return pageBufPool.Get().(*[PageSize]byte)[:]
+}
 
 // PutPageBuf returns a buffer obtained from GetPageBuf (or Space.Snapshot)
 // to the pool. The caller must not retain the buffer afterwards. Buffers of
-// any other length are dropped on the floor.
+// any other length are dropped on the floor. With poisoning enabled
+// (SetPageBufPoison, tests only) the buffer is overwritten first, so a
+// retained alias reads garbage loudly instead of a stale snapshot.
 func PutPageBuf(b []byte) {
 	if len(b) != PageSize {
 		return
 	}
+	if pageBufPoison.Load() {
+		for i := range b {
+			b[i] = 0xDB
+		}
+	}
 	pageBufPool.Put((*[PageSize]byte)(b))
 }
+
+// SetPageBufPoison toggles poison-on-free for the staging-buffer pool (test
+// hook; off by default).
+func SetPageBufPoison(on bool) { pageBufPoison.Store(on) }
+
+// PageBufStats returns (total gets, fresh allocations) of the staging-buffer
+// pool; gets minus news is the number of reuses. Counters are global and
+// monotone — benchmark deltas, not per-run gauges.
+func PageBufStats() (gets, news uint64) { return pageBufGets.Load(), pageBufNews.Load() }
 
 // PagePatch accumulates last-writer-wins writes to a single page: later
 // AddRun calls overwrite earlier ones byte-for-byte, and the extent list

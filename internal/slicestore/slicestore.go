@@ -8,6 +8,13 @@
 // propagation (§4.3), so the store also plays the role of the paper's
 // metadata space: it accounts for the memory slices and page snapshots
 // consume and triggers garbage collection when usage crosses a threshold.
+//
+// Two implementations of the Store interface exist: MapStore, the seed's
+// mutex-guarded map with a frontier sweep, and EpochStore (epoch.go), a
+// log-structured store that appends commits into per-stripe arena-backed
+// segments and reclaims whole segments against the vclock frontier. They are
+// interchangeable behind core's Options.EpochStore; every deterministic
+// observable is identical across the two.
 package slicestore
 
 import (
@@ -30,7 +37,12 @@ type Slice struct {
 	// when the slice ended. Slice A happens-before slice B iff
 	// A.Time < B.Time (§4.2).
 	Time vclock.VC
-	// Mods is the ordered modification list, as byte runs.
+	// Mods is the ordered modification list, as byte runs. Under the
+	// EpochStore the run payloads point into segment arena memory; the Run
+	// headers and the Slice itself stay ordinary Go objects, so holding a
+	// *Slice (propagation lists, pre-merge dedup) is always safe — only
+	// reading payload bytes requires the slice to be uncollected or the
+	// reader to hold an epoch pin.
 	Mods []mem.Run
 	// Bytes caches mem.RunBytes(Mods).
 	Bytes uint64
@@ -50,8 +62,84 @@ const (
 	DefaultGCThresholdPct = 90
 )
 
-// Store is the metadata space: the registry of live slices plus usage
-// accounting for slices and transient page snapshots.
+// Metrics reports implementation-specific store internals for observability
+// (Table 1 companions). The MapStore returns zeros.
+type Metrics struct {
+	// SegmentsLive is the current number of epoch segments holding slices.
+	SegmentsLive uint64
+	// SegmentsDropped counts segments reclaimed whole by Collect.
+	SegmentsDropped uint64
+	// ArenaChunksAllocated counts arena chunks ever created.
+	ArenaChunksAllocated uint64
+	// ArenaChunksReused counts arena chunk gets served by recycling.
+	ArenaChunksReused uint64
+	// ArenaBytesInterned is the total payload bytes copied into arenas.
+	ArenaBytesInterned uint64
+}
+
+// Store is the metadata space seen by the runtime: slice registration with a
+// GC-trigger verdict, snapshot accounting, frontier-driven collection, and
+// the pin protocol that keeps reclaimed payload memory alive while a reader
+// still holds collected slices.
+type Store interface {
+	// AllocSnapshot charges one page snapshot to the metadata space (taken
+	// on the first write to a page within a slice, Figure 4). The stripe
+	// hint attributes the charge to the calling thread's accounting cell.
+	AllocSnapshot(stripe int)
+	// FreeSnapshot releases one page snapshot's accounting: the paper frees
+	// snapshot memory immediately after the byte-granularity modification
+	// list is built by page diffing (§5.4).
+	FreeSnapshot(stripe int)
+	// Commit registers a finished slice and reports whether usage crossed
+	// the GC threshold, in which case the caller should garbage-collect.
+	Commit(s *Slice) (needGC bool)
+	// Collect reclaims slices whose timestamps are ≤ frontier (§4.5) and
+	// returns the number reclaimed.
+	Collect(frontier vclock.VC) int
+	// Pin marks the current reclamation epoch as in use. Until the returned
+	// pin is released, payload memory of slices collected after the pin was
+	// taken is quarantined rather than recycled, so the pinning reader can
+	// keep dereferencing the slices it already holds. The zero Pin is a
+	// released no-op; the MapStore (where reclaimed payloads are simply
+	// garbage-collected by Go) returns it directly.
+	Pin() Pin
+
+	Capacity() uint64
+	GCThreshold() uint64
+	Used() uint64
+	HighWater() uint64
+	GCCount() uint64
+	// EmptyGCCount counts Collect passes that reclaimed nothing. They are
+	// reported separately from GCCount so snapshot-churn threshold
+	// crossings do not inflate the Table 1 "GC" column.
+	EmptyGCCount() uint64
+	Live() int
+	TotalCreated() uint64
+	Stripes() int
+	StripeUsed(stripe int) int64
+	// Metrics returns implementation-specific counters (zeros for MapStore).
+	Metrics() Metrics
+}
+
+// Pin is a handle on a reclamation epoch; see Store.Pin. The zero value is
+// released and Release on it is a no-op, so pins can be passed by value
+// through wake events unconditionally.
+type Pin struct {
+	es *EpochStore
+	id uint64
+}
+
+// Release ends the pin. Idempotence is not required of callers; the runtime
+// releases each pin exactly once, after the deferred slice application it
+// protects.
+func (p Pin) Release() {
+	if p.es != nil {
+		p.es.unpin(p.id)
+	}
+}
+
+// MapStore is the seed metadata space: a single mutex-guarded map of live
+// slices with a full-sweep Collect.
 //
 // All usage accounting (used, highWater) and the scalar counters are plain
 // atomics, so snapshot bookkeeping — AllocSnapshot on the store path of a
@@ -64,7 +152,7 @@ const (
 // see the exact linearized usage at each charge, and a stripe-summed
 // approximation would reintroduce the missed/double-trigger races that
 // Commit's charge-returned value exists to rule out.
-type Store struct {
+type MapStore struct {
 	mu          sync.Mutex //detvet:nativesync guards only the live-slice map; charging is lock-free and commits/collections from different monitor domains must not serialize on usage accounting
 	slices      map[uint64]*Slice
 	capacity    uint64
@@ -75,13 +163,14 @@ type Store struct {
 	perStripe    *stats.Striped
 	highWater    atomic.Int64
 	gcCount      atomic.Uint64
+	emptyGC      atomic.Uint64
 	totalCreated atomic.Uint64
 }
 
-// NewStore returns a metadata space with the given capacity (0 means
-// DefaultCapacity) and GC threshold percentage (0 means 90), with a single
-// accounting stripe.
-func NewStore(capacity uint64, thresholdPct int) *Store {
+// NewStore returns a map-backed metadata space with the given capacity (0
+// means DefaultCapacity) and GC threshold percentage (0 means 90), with a
+// single accounting stripe.
+func NewStore(capacity uint64, thresholdPct int) *MapStore {
 	return NewStriped(capacity, thresholdPct, 1)
 }
 
@@ -90,41 +179,43 @@ func NewStore(capacity uint64, thresholdPct int) *Store {
 // cache-padded cells, so concurrent accounting from different commit-monitor
 // domains does not bounce a shared cache line for the observability half of
 // the bookkeeping. The stripes always sum to the single exact budget.
-func NewStriped(capacity uint64, thresholdPct, stripes int) *Store {
+func NewStriped(capacity uint64, thresholdPct, stripes int) *MapStore {
+	capacity, threshold := capacityAndThreshold(capacity, thresholdPct)
+	return &MapStore{
+		slices:      make(map[uint64]*Slice),
+		capacity:    capacity,
+		gcThreshold: threshold,
+		perStripe:   stats.NewStriped(stripes),
+	}
+}
+
+// capacityAndThreshold applies the shared capacity/threshold defaulting.
+func capacityAndThreshold(capacity uint64, thresholdPct int) (uint64, uint64) {
 	if capacity == 0 {
 		capacity = DefaultCapacity
 	}
 	if thresholdPct <= 0 || thresholdPct > 100 {
 		thresholdPct = DefaultGCThresholdPct
 	}
-	return &Store{
-		slices:   make(map[uint64]*Slice),
-		capacity: capacity,
-		// Multiply before dividing: capacity/100*pct truncates the quotient
-		// first, which for capacities that are not multiples of 100 rounds
-		// the threshold down by up to 99*pct bytes — and to zero for
-		// capacities under 100, making every commit trigger a GC pass.
-		gcThreshold: capacity * uint64(thresholdPct) / 100,
-		perStripe:   stats.NewStriped(stripes),
-	}
+	// Multiply before dividing: capacity/100*pct truncates the quotient
+	// first, which for capacities that are not multiples of 100 rounds
+	// the threshold down by up to 99*pct bytes — and to zero for
+	// capacities under 100, making every commit trigger a GC pass.
+	return capacity, capacity * uint64(thresholdPct) / 100
 }
 
 // Capacity returns the configured metadata-space size.
-func (st *Store) Capacity() uint64 { return st.capacity }
+func (st *MapStore) Capacity() uint64 { return st.capacity }
 
 // GCThreshold returns the usage level (bytes) at which Commit requests a
 // garbage-collection pass.
-func (st *Store) GCThreshold() uint64 { return st.gcThreshold }
+func (st *MapStore) GCThreshold() uint64 { return st.gcThreshold }
 
-// AllocSnapshot charges one page snapshot to the metadata space (taken on
-// the first write to a page within a slice, Figure 4). The stripe hint
-// attributes the charge to the calling thread's accounting cell.
-func (st *Store) AllocSnapshot(stripe int) { st.charge(stripe, mem.PageSize) }
+// AllocSnapshot implements Store.
+func (st *MapStore) AllocSnapshot(stripe int) { st.charge(stripe, mem.PageSize) }
 
-// FreeSnapshot releases one page snapshot's accounting: the paper frees
-// snapshot memory immediately after the byte-granularity modification list
-// is built by page diffing (§5.4).
-func (st *Store) FreeSnapshot(stripe int) { st.charge(stripe, -mem.PageSize) }
+// FreeSnapshot implements Store.
+func (st *MapStore) FreeSnapshot(stripe int) { st.charge(stripe, -mem.PageSize) }
 
 // charge adjusts usage by delta, attributes it to the given stripe, and
 // returns the post-add budget value — the exact usage at the instant this
@@ -132,7 +223,7 @@ func (st *Store) FreeSnapshot(stripe int) { st.charge(stripe, -mem.PageSize) }
 // charge (Commit's GC trigger) must use the returned value, never a
 // re-load: between Add and a later Load, a FreeSnapshot on the off-monitor
 // diff path can dip usage back under a threshold the Add crossed.
-func (st *Store) charge(stripe int, delta int64) int64 {
+func (st *MapStore) charge(stripe int, delta int64) int64 {
 	st.perStripe.Add(stripe, delta)
 	used := st.used.Add(delta)
 	for {
@@ -148,20 +239,34 @@ func (st *Store) charge(stripe int, delta int64) int64 {
 // decision is made from the commit's own post-charge usage, so a threshold
 // crossing is reported by exactly the charge that crossed it regardless of
 // how concurrent snapshot frees interleave.
-func (st *Store) Commit(s *Slice) (needGC bool) {
+//
+// The charge lands before the slice is published to the map: a Collect
+// racing this commit (turn-elided commits run off-turn) either misses the
+// slice entirely or sees it with its cost already in the budget, so the
+// collection's credit always cancels a charge that happened. Publishing
+// first would let a racing Collect delete-and-credit the slice before its
+// own charge landed, permanently inflating the budget by one slice cost.
+func (st *MapStore) Commit(s *Slice) (needGC bool) {
 	s.ID = st.nextID.Add(1)
 	st.totalCreated.Add(1)
+	needGC = uint64(st.charge(int(s.Tid), int64(s.Cost()))) >= st.gcThreshold
 	st.mu.Lock()
 	st.slices[s.ID] = s
 	st.mu.Unlock()
-	return uint64(st.charge(int(s.Tid), int64(s.Cost()))) >= st.gcThreshold
+	return needGC
 }
 
 // Collect removes every slice whose timestamp is ≤ frontier: such slices
 // have been merged into the local memory of every thread (§4.5, "Garbage
 // Collection") and can never again pass a propagation filter. It returns the
 // number of slices reclaimed.
-func (st *Store) Collect(frontier vclock.VC) int {
+//
+// Victims are credited back to the budget before the mutex is released —
+// atomically with publishing the collection. Crediting after the unlock
+// opens a window in which the map no longer holds the victims but the
+// budget still charges for them, so a concurrent Commit or Used reading
+// observes inflated usage and can spuriously report needGC.
+func (st *MapStore) Collect(frontier vclock.VC) int {
 	st.mu.Lock()
 	var victims []*Slice
 	//detvet:orderfree victims is only summed over (Cost) and counted; membership, not order, matters. See TestCollectOrderFree.
@@ -171,48 +276,75 @@ func (st *Store) Collect(frontier vclock.VC) int {
 			delete(st.slices, id)
 		}
 	}
-	st.mu.Unlock()
-	st.gcCount.Add(1)
 	// Credit each victim back to the stripe its commit charged, so the
 	// stripes keep summing to the budget.
 	for _, s := range victims {
 		st.charge(int(s.Tid), -int64(s.Cost()))
 	}
+	st.mu.Unlock()
+	if len(victims) > 0 {
+		st.gcCount.Add(1)
+	} else {
+		st.emptyGC.Add(1)
+	}
 	return len(victims)
 }
 
+// Pin implements Store. Reclaimed map-store slices are ordinary Go garbage,
+// so readers never need protection; the returned pin is the released zero
+// value.
+func (st *MapStore) Pin() Pin { return Pin{} }
+
 // Stripes returns the number of usage-attribution stripes.
-func (st *Store) Stripes() int { return st.perStripe.Len() }
+func (st *MapStore) Stripes() int { return st.perStripe.Len() }
 
 // StripeUsed returns the usage attributed to one stripe. Stripes are
 // attribution for observability, not budgets; only their sum (== Used when
 // quiescent) is the capacity budget.
-func (st *Store) StripeUsed(stripe int) int64 { return st.perStripe.Load(stripe) }
+func (st *MapStore) StripeUsed(stripe int) int64 { return st.perStripe.Load(stripe) }
 
 // Used returns the current metadata-space usage in bytes.
-func (st *Store) Used() uint64 { return uint64(st.used.Load()) }
+func (st *MapStore) Used() uint64 { return uint64(st.used.Load()) }
 
 // HighWater returns the metadata-space usage high-water mark (the
 // MetadataSpaceMemory term in §5.4's footprint equation).
-func (st *Store) HighWater() uint64 { return uint64(st.highWater.Load()) }
+func (st *MapStore) HighWater() uint64 { return uint64(st.highWater.Load()) }
 
-// GCCount returns the number of Collect passes (Table 1, "GC").
-func (st *Store) GCCount() uint64 { return st.gcCount.Load() }
+// GCCount returns the number of Collect passes that reclaimed at least one
+// slice (Table 1, "GC"). Passes that found nothing below the frontier are
+// counted by EmptyGCCount instead.
+func (st *MapStore) GCCount() uint64 { return st.gcCount.Load() }
+
+// EmptyGCCount returns the number of Collect passes that reclaimed nothing.
+func (st *MapStore) EmptyGCCount() uint64 { return st.emptyGC.Load() }
 
 // Live returns the number of live slices.
-func (st *Store) Live() int {
+func (st *MapStore) Live() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.slices)
 }
 
 // TotalCreated returns the number of slices ever committed.
-func (st *Store) TotalCreated() uint64 { return st.totalCreated.Load() }
+func (st *MapStore) TotalCreated() uint64 { return st.totalCreated.Load() }
+
+// Metrics implements Store; the map store has no segments or arenas.
+func (st *MapStore) Metrics() Metrics { return Metrics{} }
+
+// trimShrinkFloor is the retained-length cap below which TrimList reallocates
+// instead of reslicing, when the backing array is at least 4x larger.
+const trimShrinkFloor = 64
 
 // TrimList filters a slice-pointer list in place, dropping slices with
 // timestamps ≤ frontier, and returns the retained list. Threads call this
 // during GC so their slice-pointer lists (§4.3) do not retain collected
 // slices.
+//
+// When a trim retains only a small fraction of a large backing array, the
+// survivors are copied into a right-sized allocation and the old array is
+// released — the same retention class as a waitq kept at its high-water
+// capacity forever: a thread that once accumulated a huge pointer list
+// between GC passes would otherwise pin that array for the rest of the run.
 func TrimList(list []*Slice, frontier vclock.VC) []*Slice {
 	out := list[:0]
 	for _, s := range list {
@@ -223,6 +355,11 @@ func TrimList(list []*Slice, frontier vclock.VC) []*Slice {
 	// Zero the tail so collected slices become unreachable.
 	for i := len(out); i < len(list); i++ {
 		list[i] = nil
+	}
+	if cap(out) > trimShrinkFloor && len(out) < cap(out)/4 {
+		shrunk := make([]*Slice, len(out))
+		copy(shrunk, out)
+		return shrunk
 	}
 	return out
 }

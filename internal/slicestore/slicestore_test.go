@@ -314,3 +314,29 @@ func TestStripesSumToBudget(t *testing.T) {
 		t.Fatalf("budget %d / stripe sum %d after full collection, want 0/0", st.Used(), sum)
 	}
 }
+
+// TestTrimListReleasesLargeBackingArrays pins the retention bugfix: a trim
+// that keeps a small fraction of a huge list must not return a view of the
+// original backing array (the waitq retention class from the sharded
+// monitor work).
+func TestTrimListReleasesLargeBackingArrays(t *testing.T) {
+	list := make([]*Slice, 1024)
+	for i := range list {
+		list[i] = mkSlice(0, vclock.VC{uint64(i + 1)}, 1)
+	}
+	// Frontier covers all but the last 8: 99%+ trimmed.
+	out := TrimList(list, vclock.VC{uint64(len(list) - 8)})
+	if len(out) != 8 {
+		t.Fatalf("TrimList kept %d, want 8", len(out))
+	}
+	if cap(out) >= len(list)/4 {
+		t.Fatalf("TrimList kept a cap-%d view of the cap-%d input; backing array retained", cap(out), len(list))
+	}
+	// Small lists and modest trims stay in place: no copy churn on the
+	// common path.
+	small := []*Slice{mkSlice(0, vclock.VC{1}, 1), mkSlice(0, vclock.VC{9}, 1)}
+	kept := TrimList(small, vclock.VC{1})
+	if cap(kept) != cap(small) {
+		t.Fatal("small-list trim should reslice in place")
+	}
+}

@@ -11,9 +11,12 @@
 #   6. race tests — the packages with real concurrency, under -race with
 #                   GOMAXPROCS oversubscribed (the off-monitor diff/apply
 #                   windows only interleave when the host preempts)
-#   7. shard sweep— the seed-regression goldens once per commit-monitor
-#                   domain count (RFDET_SHARDS): the sharded monitor must be
-#                   invisible to every deterministic observable
+#   7. store sweep— the seed-regression goldens once per commit-monitor
+#                   domain count (RFDET_SHARDS) crossed with both metadata
+#                   stores (RFDET_EPOCHSTORE): neither the sharded monitor
+#                   nor the epoch store may be visible to any deterministic
+#                   observable. Plus one iteration of the slice-store churn
+#                   benchmark so the map-vs-epoch comparison stays runnable
 #   8. replicas   — the KV-server divergence check: k=3 replicas of one
 #                   request log across optimization stacks must agree
 #                   byte-for-byte (rfdet-serve exits 1 on divergence)
@@ -46,13 +49,18 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> race tests (GOMAXPROCS=4)"
-GOMAXPROCS=4 go test -race ./internal/core/ ./internal/slicestore/ ./internal/kendo/
+GOMAXPROCS=4 go test -race ./internal/core/ ./internal/slicestore/ ./internal/alloc/ ./internal/kendo/
 
-echo "==> seed goldens per shard count"
+echo "==> seed goldens per shard count x metadata store"
 for shards in 1 4; do
-	echo "    RFDET_SHARDS=$shards"
-	RFDET_SHARDS="$shards" go test -count=1 -run 'TestSeedRegressionTraces|TestSeedRegressionShardCounts|TestSeedRegressionServer' .
+	for epochstore in 0 1; do
+		echo "    RFDET_SHARDS=$shards RFDET_EPOCHSTORE=$epochstore"
+		RFDET_SHARDS="$shards" RFDET_EPOCHSTORE="$epochstore" go test -count=1 -run 'TestSeedRegressionTraces|TestSeedRegressionShardCounts|TestSeedRegressionServer|TestSeedRegressionEpochStoreMatches' .
+	done
 done
+
+echo "==> slice-store churn benchmark (1 iteration)"
+go test -run=NONE -bench SliceStoreChurn -benchtime=1x ./internal/slicestore/
 
 echo "==> replica divergence check (k=3)"
 go run ./cmd/rfdet-serve -size test -threads 4 -replicas 3

@@ -62,16 +62,20 @@ var regressionProcs = []int{1, 2, 4, 8}
 var seedConfig = workloads.Config{Threads: 4, Size: workloads.SizeTest}
 
 // seedTestOptions returns the configuration the goldens were captured with,
-// honoring the RFDET_SHARDS environment variable so CI can sweep the
-// determinism matrix across commit-monitor domain counts without a test-code
-// change. The goldens are shard-count independent by construction — that
-// independence is exactly what the sweep asserts.
+// honoring the RFDET_SHARDS and RFDET_EPOCHSTORE environment variables so CI
+// can sweep the determinism matrix across commit-monitor domain counts and
+// metadata-store implementations without a test-code change. The goldens are
+// independent of both axes by construction — that independence is exactly
+// what the sweep asserts.
 func seedTestOptions() core.Options {
 	opts := core.DefaultOptions()
 	if s := os.Getenv("RFDET_SHARDS"); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
 			opts.ShardCount = n
 		}
+	}
+	if s := os.Getenv("RFDET_EPOCHSTORE"); s == "0" || s == "off" {
+		opts.EpochStore = false
 	}
 	return opts
 }
@@ -477,6 +481,55 @@ func TestSeedRegressionShardCounts(t *testing.T) {
 				if want := uint64(shards); r.Stats.MonitorShards != want {
 					runtime.GOMAXPROCS(old)
 					t.Fatalf("shards=%d: Stats.MonitorShards = %d", shards, r.Stats.MonitorShards)
+				}
+			}
+			runtime.GOMAXPROCS(old)
+		}
+	}
+}
+
+// TestSeedRegressionEpochStoreMatches closes the loop on the metadata-store
+// axis: the epoch store (the DefaultOptions seed path, which every golden
+// above already exercises) and the original map store must both reproduce
+// the seed goldens bit-for-bit — output, virtual time AND event trace — at
+// every GOMAXPROCS. The metadata space is pure bookkeeping: which store
+// reclaims a collected slice's bytes must never leak into a deterministic
+// observable.
+func TestSeedRegressionEpochStoreMatches(t *testing.T) {
+	goldens := []struct {
+		workload             string
+		output, vtime, trace uint64
+	}{
+		{"wordcount", goldenWordcountOutput, goldenWordcountVTime, goldenWordcountTrace},
+		{"fft", goldenFFTOutput, goldenFFTVTime, goldenFFTTrace},
+	}
+	for _, epoch := range []bool{false, true} {
+		opts := core.DefaultOptions()
+		opts.EpochStore = epoch
+		opts.Trace = true
+		rt := core.New(opts)
+		for _, p := range []int{1, 4, 8} {
+			old := runtime.GOMAXPROCS(p)
+			for _, g := range goldens {
+				w, err := workloads.ByName(g.workload)
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatal(err)
+				}
+				r, tr, err := rt.RunTraced(w.Prog(seedConfig))
+				if err != nil {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("epoch=%v P=%d %s: %v", epoch, p, g.workload, err)
+				}
+				if r.OutputHash != g.output || r.VirtualTime != g.vtime {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("epoch=%v P=%d %s: output=%#x vtime=%d, seed output=%#x vtime=%d",
+						epoch, p, g.workload, r.OutputHash, r.VirtualTime, g.output, g.vtime)
+				}
+				if th := fnvString(tr.String()); th != g.trace {
+					runtime.GOMAXPROCS(old)
+					t.Fatalf("epoch=%v P=%d %s: trace hash %#x, seed %#x — the store changed event-level behavior",
+						epoch, p, g.workload, th, g.trace)
 				}
 			}
 			runtime.GOMAXPROCS(old)
