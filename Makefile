@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race bench fmt vet lint detvet-bin
+.PHONY: verify build test race bench fmt vet lint detvet detvet-bin
 
 verify:
 	sh scripts/verify.sh
@@ -29,8 +29,15 @@ detvet-bin:
 	@$(GO) build -o bin/detvet ./tools/detvet
 	@echo $(CURDIR)/bin/detvet
 
-# lint runs the repo's determinism analyzers (maporder, wallclock,
-# nativesync) over the whole tree via go vet.
+# lint runs the repo's determinism analyzers over the whole tree via go vet
+# (the per-package unitchecker protocol: maporder, wallclock, nativesync,
+# lockcheck, pincheck).
 lint:
 	$(GO) build -o bin/detvet ./tools/detvet
 	$(GO) vet -vettool=$(CURDIR)/bin/detvet ./...
+
+# detvet runs the analyzers in standalone whole-program mode, which adds the
+# cross-package statwire pass (stats wiring) on top of the vettool set.
+# Incremental: package export data comes from the go build cache.
+detvet:
+	$(GO) run ./tools/detvet ./...

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// runLint executes the repo's determinism analyzer suite (tools/detvet) in
+// its standalone JSON mode and asserts a clean tree. It is a smoke test for
+// the -json contract as much as for the tree: the output it asserts empty is
+// parsed, not pattern-matched, so a malformed encoding fails the lint too.
+// Must run from the repository root (as make detvet and CI do).
+func runLint(out io.Writer) error {
+	cmd := exec.Command("go", "run", "./tools/detvet", "-json", "./...")
+	cmd.Stderr = os.Stderr
+	raw, runErr := cmd.Output()
+
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &diags); err != nil {
+			return fmt.Errorf("lint: detvet -json output did not parse: %v", err)
+		}
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		return fmt.Errorf("lint: %d determinism diagnostics", len(diags))
+	}
+	if runErr != nil {
+		return fmt.Errorf("lint: detvet failed: %v", runErr)
+	}
+	fmt.Fprintln(out, "lint: clean (maporder, wallclock, nativesync, lockcheck, pincheck, statwire)")
+	return nil
+}

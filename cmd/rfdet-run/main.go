@@ -187,15 +187,34 @@ func printReport(runtime, workload string, cfg workloads.Config, rep *api.Report
 		s.Locks, s.Unlocks, s.Waits, s.Signals, s.Forks, s.Joins, s.Barriers, s.AtomicsOps)
 	fmt.Printf("  memory ops:    %d (%d loads, %d stores, %d with page copy)\n",
 		s.MemOps(), s.Loads, s.Stores, s.StoresWithCopy)
-	fmt.Printf("  memory:        shared %d KB, runtime %d KB, metadata %d KB (GC passes: %d)\n",
-		s.SharedMemBytes/1024, s.RuntimeMemBytes/1024, s.MetadataBytes/1024, s.GCCount)
+	fmt.Printf("  memory:        shared %d KB, runtime %d KB, metadata %d KB of %d KB (GC passes: %d)\n",
+		s.SharedMemBytes/1024, s.RuntimeMemBytes/1024, s.MetadataBytes/1024, s.MetadataCapacity/1024, s.GCCount)
 	if s.SlicesCreated > 0 {
-		fmt.Printf("  slices:        %d created, %d merged away, %d propagated (%d filtered), %d KB moved\n",
-			s.SlicesCreated, s.SlicesMerged, s.SlicesPropagated, s.SlicesFilteredLow, s.BytesPropagated/1024)
+		fmt.Printf("  slices:        %d created, %d merged away, %d propagated (%d+%d filtered), %d KB moved\n",
+			s.SlicesCreated, s.SlicesMerged, s.SlicesPropagated,
+			s.SlicesFilteredLow, s.SlicesFilteredPremerged, s.BytesPropagated/1024)
+	}
+	if s.LazyPendingApplied > 0 || s.LazyRunsElided > 0 {
+		fmt.Printf("  lazy writes:   %d pended runs applied on access, %d coalesced away untouched\n",
+			s.LazyPendingApplied, s.LazyRunsElided)
+	}
+	if s.DirtyExtents > 0 {
+		fmt.Printf("  dirty extents: %d consumed; diffs scanned %d KB, skipped %d KB\n",
+			s.DirtyExtents, s.DiffBytesScanned/1024, s.DiffBytesSkipped/1024)
+	}
+	if s.ArenaBytesInterned > 0 {
+		fmt.Printf("  arena intern:  %d KB of slice payload copied into epoch segments\n",
+			s.ArenaBytesInterned/1024)
+	}
+	if s.RaceRecords > 0 {
+		fmt.Printf("  race detect:   %d access records, %d KB of harvested read sets\n",
+			s.RaceRecords, s.RaceReadBytes/1024)
 	}
 	if s.PageFaults > 0 || s.PageProtects > 0 {
 		fmt.Printf("  protection:    %d faults, %d page protects\n", s.PageFaults, s.PageProtects)
 	}
+	fmt.Printf("  monitor:       %d acquires across %d domains; %d stamped releases, %d cross-domain acquires, %d rendezvous\n",
+		s.MonitorAcquires, s.MonitorShards, s.ShardReleases, s.CrossShardAcquires, s.RendezvousOps)
 	if s.ElidedTurnWaits > 0 || s.SkippedSliceApplies > 0 || s.RelaxUnsafeFallbacks > 0 {
 		fmt.Printf("  relaxation:    %d turn-waits elided, %d slice applies skipped (%d B), %d unsafe fallbacks\n",
 			s.ElidedTurnWaits, s.SkippedSliceApplies, s.BytesElided, s.RelaxUnsafeFallbacks)

@@ -69,22 +69,26 @@ func classSize(c int) uint64 { return minClassSize << uint(c) }
 
 // heap is one thread's allocation arena.
 type heap struct {
-	mu    sync.Mutex // taken for cross-thread frees; uncontended otherwise
+	//detvet:lockorder 52
+	mu sync.Mutex // taken for cross-thread frees; uncontended otherwise
+	//detvet:notguarded fixed when the heap is registered, immutable thereafter
 	base  uint64
-	limit uint64
-	bump  uint64
-	free  [numClasses][]uint64 // LIFO free lists per size class
-	large map[uint64][]uint64  // size → freed large spans
-	sizes map[uint64]uint64    // live allocation sizes
+	limit uint64               //detvet:notguarded fixed when the heap is registered, immutable thereafter
+	bump  uint64               //detvet:guardedby mu
+	free  [numClasses][]uint64 //detvet:guardedby mu // LIFO free lists per size class
+	large map[uint64][]uint64  //detvet:guardedby mu // size → freed large spans
+	sizes map[uint64]uint64    //detvet:guardedby mu // live allocation sizes
 }
 
 // Allocator hands out non-conflicting shared-memory addresses to all threads
 // of one program execution.
 type Allocator struct {
-	mu        sync.Mutex
+	//detvet:lockorder 50
+	mu sync.Mutex
+	//detvet:guardedby mu
 	heaps     []*heap
-	liveBytes int64
-	highWater int64
+	liveBytes atomic.Int64
+	highWater atomic.Int64
 }
 
 // New returns an empty allocator.
@@ -163,16 +167,17 @@ func (a *Allocator) Malloc(tid int, size uint64) uint64 {
 		}
 	}
 	h.sizes[addr] = got
-	live := atomic.AddInt64(&a.liveBytes, int64(got))
+	live := a.liveBytes.Add(int64(got))
 	for {
-		hw := atomic.LoadInt64(&a.highWater)
-		if live <= hw || atomic.CompareAndSwapInt64(&a.highWater, hw, live) {
+		hw := a.highWater.Load()
+		if live <= hw || a.highWater.CompareAndSwap(hw, live) {
 			break
 		}
 	}
 	return addr
 }
 
+//detvet:holds mu
 func (h *heap) bumpAlloc(size, align uint64) uint64 {
 	addr := (h.bump + align - 1) &^ (align - 1)
 	if addr+size > h.limit {
@@ -182,15 +187,31 @@ func (h *heap) bumpAlloc(size, align uint64) uint64 {
 	return addr
 }
 
+// heapAt returns the registered heap owning addr, or nil. The lookup takes
+// a.mu: Register may still be growing the heaps slice (a spawn reallocates
+// its backing array) while frees and size queries arrive from
+// already-running threads.
+func (a *Allocator) heapAt(addr uint64) *heap {
+	owner := ownerOf(addr)
+	if owner < 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if owner >= len(a.heaps) {
+		return nil
+	}
+	return a.heaps[owner]
+}
+
 // Free releases the allocation at addr. Any thread may free any allocation;
 // the block returns to the owning thread's heap, as in Hoard. The runtime is
 // responsible for ordering cross-thread frees deterministically.
 func (a *Allocator) Free(addr uint64) error {
-	owner := ownerOf(addr)
-	if owner < 0 || owner >= len(a.heaps) || a.heaps[owner] == nil {
+	h := a.heapAt(addr)
+	if h == nil {
 		return fmt.Errorf("alloc: free of non-heap address %#x", addr)
 	}
-	h := a.heaps[owner]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	size, ok := h.sizes[addr]
@@ -203,25 +224,24 @@ func (a *Allocator) Free(addr uint64) error {
 	} else {
 		h.large[size] = append(h.large[size], addr)
 	}
-	atomic.AddInt64(&a.liveBytes, -int64(size))
+	a.liveBytes.Add(-int64(size))
 	return nil
 }
 
 // SizeOf returns the rounded size of the live allocation at addr, or 0.
 func (a *Allocator) SizeOf(addr uint64) uint64 {
-	owner := ownerOf(addr)
-	if owner < 0 || owner >= len(a.heaps) || a.heaps[owner] == nil {
+	h := a.heapAt(addr)
+	if h == nil {
 		return 0
 	}
-	h := a.heaps[owner]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sizes[addr]
 }
 
 // LiveBytes returns the currently allocated bytes.
-func (a *Allocator) LiveBytes() uint64 { return uint64(atomic.LoadInt64(&a.liveBytes)) }
+func (a *Allocator) LiveBytes() uint64 { return uint64(a.liveBytes.Load()) }
 
 // HighWater returns the high-water mark of allocated bytes: the
 // "SharedMemory" term in the footprint equations of §5.4.
-func (a *Allocator) HighWater() uint64 { return uint64(atomic.LoadInt64(&a.highWater)) }
+func (a *Allocator) HighWater() uint64 { return uint64(a.highWater.Load()) }

@@ -190,3 +190,42 @@ func TestRegionSeparation(t *testing.T) {
 		t.Fatalf("thread 3 allocation outside its region: %#x", p3)
 	}
 }
+
+// TestConcurrentRegisterAndFree pins the heap-table locking fixed alongside
+// the detvet lockcheck sweep: Free and SizeOf used to index a.heaps without
+// a.mu, racing against the slice reallocation a concurrent Register performs
+// when it grows the table. Run under -race this test fails on the unlocked
+// lookup.
+func TestConcurrentRegisterAndFree(t *testing.T) {
+	a := New()
+	a.Register(0)
+	addrs := make([]uint64, 0, 256)
+	for i := 0; i < 256; i++ {
+		addrs = append(addrs, a.Malloc(0, 64))
+	}
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for tid := 1; tid < 300; tid++ {
+			a.Register(tid)
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for _, ad := range addrs {
+			if a.SizeOf(ad) == 0 {
+				t.Error("live allocation reported size 0")
+				return
+			}
+			if err := a.Free(ad); err != nil {
+				t.Errorf("Free(%#x): %v", ad, err)
+				return
+			}
+		}
+	}()
+	<-done
+	<-done
+	if got := a.LiveBytes(); got != 0 {
+		t.Fatalf("LiveBytes = %d after freeing everything, want 0", got)
+	}
+}

@@ -31,7 +31,9 @@ const PoisonByte = 0xDB
 // ChunkPool recycles fixed-size byte chunks through a LIFO free list, in the
 // style of the size-class free lists of the deterministic Allocator.
 type ChunkPool struct {
-	mu   sync.Mutex
+	//detvet:lockorder 60
+	mu sync.Mutex
+	//detvet:guardedby mu
 	free [][]byte
 
 	allocated atomic.Uint64 // chunks ever created

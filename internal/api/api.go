@@ -199,10 +199,10 @@ type Stats struct {
 	// Like the wall-clock nanos these are host-dependent observability —
 	// which slices get elided depends on when peer read evidence lands —
 	// and are never part of the deterministic output.
-	ElidedTurnWaits      uint64 // turn-waits skipped under the relaxation profile
-	SkippedSliceApplies  uint64 // propagated slices whose application was elided
-	BytesElided          uint64 // modification bytes in elided slice applies
-	RelaxUnsafeFallbacks uint64 // relaxations reverted on contradicting evidence
+	ElidedTurnWaits      uint64 //detvet:mark turn-elide (turn-waits skipped under the relaxation profile)
+	SkippedSliceApplies  uint64 //detvet:mark slice-elide (propagated slices whose application was elided)
+	BytesElided          uint64 //detvet:mark slice-elide (modification bytes in elided slice applies)
+	RelaxUnsafeFallbacks uint64 //detvet:mark relax-fallback (relaxations reverted on contradicting evidence)
 
 	// Monitor-contention observability. MonitorAcquires counts acquisitions
 	// of the runtime's global monitor; DiffNanos and ApplyNanos are the

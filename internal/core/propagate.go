@@ -286,6 +286,8 @@ func (t *thread) applyPlanToSpace(plan *mem.WritePlan) {
 // unaffected by when t's private space absorbs the runs; and t applies them
 // before returning to application code, so t itself never reads memory
 // missing an acquired update.
+//
+//detvet:holds sh.mu
 func (t *thread) acquireCollectLocked(sh *monShard, sv *syncVar) []*slicestore.Slice {
 	if sv.lastTid < 0 {
 		t.lastShard = int32(sh.id)
@@ -352,6 +354,8 @@ func (t *thread) acquireFromCollectLocked(fromTid int32, upper vclock.VC, releas
 // time and the collected slices; applying them to w's private memory is the
 // only work left for w itself, off the monitor (§4.3's propagation with the
 // collect and apply halves on opposite sides of the wakeup).
+//
+//detvet:holds sh.mu
 func (e *exec) prepareAcquireLocked(w *thread, sh *monShard, sv *syncVar, handoffVT vtime.Time) wakeEvent {
 	w.vt = vtime.Max(w.vt, handoffVT) + vtime.LockHandoff
 	var slices []*slicestore.Slice

@@ -162,6 +162,8 @@ func (t *thread) turnRelaxed(addr api.Addr) (en *relaxEntry, elided bool) {
 // It returns whether the operation still runs elided (true only when the
 // elision stood confirmed); callers mirror that into t.relaxElided for the
 // duration of the operation so GC requests arriving off-turn get deferred.
+//
+//detvet:holds sh.mu
 func (t *thread) relaxAdmitLocked(sh *monShard, en *relaxEntry, addr api.Addr, elided bool) bool {
 	if en == nil {
 		return false

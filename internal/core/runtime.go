@@ -250,8 +250,11 @@ type exec struct {
 	// rendezvous, GC passes, the abort path, and the thread table. It is
 	// the maximum element of the lock order — taken after any domain
 	// mutexes, and a holder never waits on anything else.
-	mu      sync.Mutex //detvet:nativesync the global monitor rendezvous (§4.1 sharded); ordered after the domain mutexes.
+	//detvet:lockorder 20
+	mu sync.Mutex //detvet:nativesync the global monitor rendezvous (§4.1 sharded); ordered after the domain mutexes.
+	//detvet:notguarded appended only under the full rendezvous; readers either hold the turn or run after the workers exited, both of which the rendezvous mutually excludes
 	threads []*thread
+	//detvet:notguarded written only under the spawn rendezvous, read only by the post-execution report build
 	maxLive int
 
 	// liveCount and blockedCount are atomics because the deadlock check on
@@ -687,6 +690,7 @@ func (e *exec) buildReportLocked(elapsed time.Duration) *api.Report {
 	rep.OutputHash = h.Sum64()
 
 	rep.Stats.MonitorShards = uint64(len(e.shards))
+	//detvet:lockcheck report build runs after every worker has exited; the domains are quiescent and nothing mutates their counters.
 	for _, sh := range e.shards {
 		rep.Stats.ShardReleases += sh.releases
 		rep.Stats.CrossShardAcquires += sh.crossAcquires

@@ -40,23 +40,28 @@ import (
 // their domain (GC requests, abort); the rendezvous takes everything in
 // the same ascending order.
 type monShard struct {
+	//detvet:notguarded assigned once at startup, immutable thereafter
 	id int
+	//detvet:lockorder 10
 	mu sync.Mutex //detvet:nativesync one commit-monitor domain (§4.1 sharded); taken only in ascending shard order, before exec.mu.
 	// syncvars is the domain's slice of the internal synchronization
 	// variable table: every api.Addr with shardFor(a) == this shard.
+	//detvet:guardedby mu
 	syncvars map[api.Addr]*syncVar
 	// frontier is the domain's Louvre-style versioned release frontier:
 	// advanced on every release performed in the domain, its version
 	// stamped into the release record (syncVar.lastVer). Cross-domain
 	// acquires join release timestamps that the stamping domain's frontier
 	// covers at the stamped version — the invariant validateLocked checks.
+	//detvet:guardedby mu
 	frontier vclock.Frontier
 	// releases counts releases stamped by this domain; crossAcquires
 	// counts acquires whose happens-before edge came from a release the
 	// acquirer's previous domain did not stamp. Mutated under mu,
 	// aggregated into Report.Stats.
+	//detvet:guardedby mu
 	releases      uint64
-	crossAcquires uint64
+	crossAcquires uint64 //detvet:guardedby mu
 }
 
 // maxShards bounds Options.ShardCount; beyond the core count there is
@@ -76,6 +81,8 @@ func (e *exec) shardFor(a api.Addr) *monShard {
 
 // syncvar returns (creating if needed) the internal synchronization
 // variable at address a within this domain. Caller holds the domain mutex.
+//
+//detvet:holds mu
 func (sh *monShard) syncvar(a api.Addr) *syncVar {
 	sv, ok := sh.syncvars[a]
 	if !ok {
@@ -90,6 +97,8 @@ func (sh *monShard) syncvar(a api.Addr) *syncVar {
 // wait as a monitor-wait phase span (one span per logical monitor entry,
 // so the span count reconciles with Stats.MonitorAcquires exactly as it
 // did for the global monitor).
+//
+//detvet:acquires sh.mu
 func (e *exec) lockShard(t *thread, sh *monShard) {
 	ts := t.tb.Now()
 	sh.mu.Lock()
@@ -103,6 +112,8 @@ func (e *exec) lockShard(t *thread, sh *monShard) {
 // thread must unwind instead of continuing to mutate synchronization
 // state — in particular it must not block, because failLocked has already
 // delivered its abort wakeups.
+//
+//detvet:acquires sh.mu
 func (e *exec) relockShard(t *thread, sh *monShard) {
 	e.lockShard(t, sh)
 	if e.aborted.Load() {
@@ -113,6 +124,8 @@ func (e *exec) relockShard(t *thread, sh *monShard) {
 
 // lockShardSet enters a deduplicated ascending set of domains (built by
 // shardSet) as one logical monitor entry.
+//
+//detvet:acquires *
 func (e *exec) lockShardSet(t *thread, set []*monShard) {
 	ts := t.tb.Now()
 	for _, sh := range set {
@@ -123,6 +136,8 @@ func (e *exec) lockShardSet(t *thread, set []*monShard) {
 }
 
 // unlockShardSet releases a set taken by lockShardSet, in reverse order.
+//
+//detvet:releases *
 func unlockShardSet(set []*monShard) {
 	for i := len(set) - 1; i >= 0; i-- {
 		set[i].mu.Unlock()
@@ -168,6 +183,8 @@ func insertShard(set []*monShard, sh *monShard) []*monShard {
 // held, no hot path can be inside any domain, so the global operations see
 // (and the seed-equivalence argument relies on) exactly the quiescent
 // state the single global monitor provided.
+//
+//detvet:acquires *
 func (e *exec) rendezvous(t *thread) {
 	ts := t.tb.Now()
 	for _, sh := range e.shards {
@@ -182,6 +199,8 @@ func (e *exec) rendezvous(t *thread) {
 
 // releaseRendezvous exits a rendezvous: exec.mu first, then the domains in
 // descending order.
+//
+//detvet:releases *
 func (e *exec) releaseRendezvous(t *thread) {
 	t.holdsGlobal = false
 	e.mu.Unlock()
@@ -228,6 +247,8 @@ func (e *exec) maybeGC(t *thread, need bool) {
 
 // stampRelease advances the domain frontier for a release with timestamp
 // tend and returns the release's stamped version.
+//
+//detvet:holds mu
 func (sh *monShard) stampRelease(tend vclock.VC) uint64 {
 	sh.releases++
 	return sh.frontier.Advance(tend)

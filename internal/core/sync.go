@@ -147,6 +147,8 @@ func (t *thread) Lock(m api.Addr) {
 // remaining waiters pre-merge the release in parallel with the new holder's
 // critical section (prelock, §4.5), and the new holder is woken with its
 // acquire pre-collected. Caller holds the mutex's domain.
+//
+//detvet:holds sh.mu
 func (e *exec) handoffLocked(sh *monShard, sv *syncVar, releaser *thread) {
 	next := sv.lockQ.pop()
 	sv.owner = next
@@ -192,6 +194,8 @@ func (t *thread) Unlock(m api.Addr) {
 // the just-ended slice's timestamp as the release time, stamped with the
 // owning domain's next release version (the Louvre-style counter that
 // orders cross-domain acquires; shard.go).
+//
+//detvet:holds sh.mu
 func (t *thread) releaseLocked(sh *monShard, sv *syncVar, tend vclock.VC) {
 	sv.lastTid = int32(t.id)
 	sv.lastTime = tend
@@ -278,6 +282,7 @@ func (t *thread) signal(c api.Addr, all bool) {
 	// queue cannot change between the peek and the locked pops below.
 	set := t.shardScratch[:0]
 	set = insertShard(set, shc)
+	//detvet:lockcheck turn-held peek: domain state only changes under the deterministic turn, which this thread holds (comment above).
 	if svc, ok := shc.syncvars[c]; ok {
 		n := svc.condQ.len()
 		if !all && n > 1 {

@@ -75,6 +75,7 @@ type thread struct {
 	// seed-model apply cost was charged at elision). Mutually exclusive with
 	// pending by construction: elision requires eager application
 	// (pending == nil), so a page is never in both layers.
+	//detvet:notguarded thread-local: only this thread's fault handler and elision path touch it, never another thread
 	relaxPend map[mem.PageID]*mem.PagePatch
 	// readEvd is the thread's published cumulative read evidence for the
 	// propagation-elision veto (relax.go); peers read it lock-free.
@@ -84,13 +85,15 @@ type thread struct {
 	// relaxed (turn-elided) operation. Leaf mutex: a holder takes no other
 	// lock. Memory-safety only; every propagation decision still derives
 	// from the vector-clock values, never from mutex arrival order.
+	//detvet:lockorder 80
 	histMu sync.Mutex //detvet:nativesync leaf guard for off-turn history mutation under RaceRelaxed; no ordering role.
 	// relaxElided marks that the current synchronization operation runs with
 	// its turn-wait elided; gcDeferred queues a GC request that arrived
 	// during such an operation for the next turn-held one (gcLocked requires
 	// the turn-quiescence its caller normally guarantees).
+	//detvet:notguarded thread-local flag, set and cleared by this thread around its own operation
 	relaxElided bool
-	gcDeferred  bool
+	gcDeferred  bool //detvet:notguarded thread-local flag, consulted only by this thread's next turn-held operation
 
 	// preMerged records slices applied by a prelock pre-merge (§4.5) so the
 	// eventual acquire skips them. Nil when no pre-merge is outstanding.
@@ -621,6 +624,8 @@ func (t *thread) endSliceLocked() vclock.VC {
 // mutation of monitor-guarded synchronization state happens under the turn,
 // so the state the caller was looking at cannot change while the domain is
 // released.
+//
+//detvet:holds sh.mu
 func (t *thread) endSliceDropShard(sh *monShard) vclock.VC {
 	if len(t.snapOrder) == 0 {
 		return t.endSliceLocked()

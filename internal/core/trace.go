@@ -45,8 +45,9 @@ type traceEvent struct {
 // tracer accumulates events; its mutex only guards the append, never the
 // order.
 type tracer struct {
-	mu     sync.Mutex //detvet:nativesync guards only the append; event order is decided by the monitor.
-	events []traceEvent
+	//detvet:lockorder 70
+	mu     sync.Mutex   //detvet:nativesync guards only the append; event order is decided by the monitor.
+	events []traceEvent //detvet:guardedby mu
 }
 
 func (tr *tracer) record(t *thread, op string, addr api.Addr) {

@@ -72,6 +72,7 @@ func (e *exec) validateLocked() error {
 	//    advanced in the domain — covers the record's timestamp. Together
 	//    these are what make a cross-domain acquire's clock join equivalent
 	//    to the one the global monitor performed.
+	//detvet:lockcheck post-execution validation: every worker has exited, so the domains are quiescent and exec.mu alone orders these reads.
 	for _, sh := range e.shards {
 		//detvet:orderfree only the first violation is reported, and any violation fails validation regardless of which map order surfaces it.
 		for a, sv := range sh.syncvars {

@@ -198,10 +198,10 @@ func PropagationTable(out io.Writer, size workloads.Size, threads int) error {
 func SliceStoreTable(out io.Writer, size workloads.Size, threads int) error {
 	cfg := workloads.Config{Threads: threads, Size: size}
 	fmt.Fprintf(out, "Metadata-store profile (%d threads, size %s, RFDet-ci)\n\n", threads, size)
-	fmt.Fprintf(out, "%-18s | %9s %5s %6s | %9s %5s %6s %6s %8s %7s\n",
+	fmt.Fprintf(out, "%-18s | %9s %5s %6s | %9s %5s %6s %6s %8s %7s %10s\n",
 		"benchmark",
 		"map(KB)", "gc", "empty",
-		"epoch(KB)", "gc", "empty", "segs", "drop", "reuse%")
+		"epoch(KB)", "gc", "empty", "segs", "drop", "reuse%", "intern(KB)")
 	for _, w := range workloads.All() {
 		mapOpts := core.DefaultOptions()
 		mapOpts.EpochStore = false
@@ -222,11 +222,12 @@ func SliceStoreTable(out io.Writer, size workloads.Size, threads int) error {
 		if gets := es.ArenaChunksAllocated + es.ArenaChunksReused; gets > 0 {
 			reusePct = 100 * float64(es.ArenaChunksReused) / float64(gets)
 		}
-		fmt.Fprintf(out, "%-18s | %9d %5d %6d | %9d %5d %6d %6d %8d %6.1f%%\n",
+		fmt.Fprintf(out, "%-18s | %9d %5d %6d | %9d %5d %6d %6d %8d %6.1f%% %10d\n",
 			w.Name,
 			ms.MetadataBytes/1024, ms.GCCount, ms.GCEmptyPasses,
 			es.MetadataBytes/1024, es.GCCount, es.GCEmptyPasses,
-			es.StoreSegments, es.StoreSegmentsDropped, reusePct)
+			es.StoreSegments, es.StoreSegmentsDropped, reusePct,
+			es.ArenaBytesInterned/1024)
 	}
 	fmt.Fprintln(out, "\nBoth columns ran the same programs to the same outputs and virtual times;")
 	fmt.Fprintln(out, "the store only changes how collected slices' bytes are reclaimed (§4.5).")

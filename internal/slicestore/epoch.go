@@ -57,8 +57,11 @@ type segment struct {
 // epochStripe is one commit lane: threads map to stripes by id, so commits
 // from different monitor domains append under different mutexes.
 type epochStripe struct {
-	mu     sync.Mutex //detvet:nativesync commit lane for host-side segment appends; turn order already serializes conflicting commits, the mutex only protects the lane against off-turn elided commits and Collect
-	open   *segment
+	//detvet:lockorder 30
+	mu sync.Mutex //detvet:nativesync commit lane for host-side segment appends; turn order already serializes conflicting commits, the mutex only protects the lane against off-turn elided commits and Collect
+	//detvet:guardedby mu
+	open *segment
+	//detvet:guardedby mu
 	sealed []*segment
 	_      [32]byte // keep neighboring stripes' mutexes off one cache line
 }
@@ -92,11 +95,15 @@ type EpochStore struct {
 	// Reclamation epoch state. epoch advances on every Collect pass; pins
 	// hold the epoch current at Pin time; limbo quarantines dropped arenas
 	// until no pin predates their drop epoch. All three share pinMu.
-	pinMu  sync.Mutex //detvet:nativesync guards the reclamation-epoch registry (pins + limbo); pure host-side memory recycling, invisible to deterministic state
-	epoch  uint64
+	//detvet:lockorder 40
+	pinMu sync.Mutex //detvet:nativesync guards the reclamation-epoch registry (pins + limbo); pure host-side memory recycling, invisible to deterministic state
+	//detvet:guardedby pinMu
+	epoch uint64
+	//detvet:guardedby pinMu
 	pinSeq uint64
-	pins   []pinRec
-	limbo  []limboSeg
+	//detvet:guardedby pinMu
+	pins  []pinRec
+	limbo []limboSeg //detvet:guardedby pinMu
 }
 
 // pinRec is one live pin. A slice, not a map: releases are by linear scan
@@ -301,6 +308,8 @@ func (es *EpochStore) retire(dropped []*segment) {
 // drainLimboLocked releases every quarantined arena that no live pin can
 // still read: an arena dropped at epoch D is protected only by pins taken
 // at an epoch < D.
+//
+//detvet:holds pinMu
 func (es *EpochStore) drainLimboLocked() {
 	minPin := ^uint64(0)
 	for _, p := range es.pins {

@@ -153,10 +153,13 @@ func (p Pin) Release() {
 // approximation would reintroduce the missed/double-trigger races that
 // Commit's charge-returned value exists to rule out.
 type MapStore struct {
-	mu          sync.Mutex //detvet:nativesync guards only the live-slice map; charging is lock-free and commits/collections from different monitor domains must not serialize on usage accounting
-	slices      map[uint64]*Slice
+	//detvet:lockorder 30
+	mu sync.Mutex //detvet:nativesync guards only the live-slice map; charging is lock-free and commits/collections from different monitor domains must not serialize on usage accounting
+	//detvet:guardedby mu
+	slices map[uint64]*Slice
+	//detvet:notguarded fixed at construction, immutable thereafter
 	capacity    uint64
-	gcThreshold uint64
+	gcThreshold uint64 //detvet:notguarded fixed at construction, immutable thereafter
 
 	nextID       atomic.Uint64
 	used         atomic.Int64 // slices + snapshots, bytes (the exact budget)

@@ -4,8 +4,10 @@
 # Steps, in order of how fast they fail:
 #   1. gofmt      — no unformatted files
 #   2. go vet     — static checks
-#   3. detvet     — the determinism analyzer suite (tools/detvet): map
-#                   iteration order, wall-clock reads, native sync in core
+#   3. detvet     — the determinism analyzer suite (tools/detvet), both as a
+#                   go vet tool (maporder, wallclock, nativesync, lockcheck,
+#                   pincheck per package) and in standalone whole-program
+#                   mode, which adds the cross-package statwire pass
 #   4. go build   — everything compiles
 #   5. go test    — full suite
 #   6. race tests — the packages with real concurrency, under -race with
@@ -38,9 +40,12 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> detvet (determinism analyzers)"
+echo "==> detvet (determinism analyzers, go vet mode)"
 go build -o bin/detvet ./tools/detvet
 go vet -vettool="$(pwd)/bin/detvet" ./...
+
+echo "==> detvet (standalone whole-program mode: + statwire)"
+go run ./tools/detvet ./...
 
 echo "==> go build ./..."
 go build ./...

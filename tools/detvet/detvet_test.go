@@ -21,12 +21,30 @@ import (
 func TestMaporderFixtures(t *testing.T)   { runFixture(t, maporder) }
 func TestWallclockFixtures(t *testing.T)  { runFixture(t, wallclock) }
 func TestNativesyncFixtures(t *testing.T) { runFixture(t, nativesync) }
+func TestLockcheckFixtures(t *testing.T)  { runFixture(t, lockcheck) }
+func TestPincheckFixtures(t *testing.T)   { runFixture(t, pincheck) }
+
+// TestStatwireFixtures runs the whole-program statwire pass with every
+// configured role (stats package, mark package, surface packages) pointed at
+// the fixture package itself.
+func TestStatwireFixtures(t *testing.T) {
+	fset, files, pkg, info := loadFixture(t, statwire.Name)
+	pass := &Pass{Analyzer: statwire, Fset: fset, Files: files, Pkg: pkg, Info: info, PkgPath: statwire.Name}
+	pass.prepareAnnotations()
+	runStatwire([]*Pass{pass}, statwireConfig{
+		statsPkg:    statwire.Name,
+		statsType:   "Stats",
+		markPkg:     statwire.Name,
+		surfacePkgs: []string{statwire.Name},
+	})
+	matchWants(t, fset, files, pass.diags)
+}
 
 var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
 
-func runFixture(t *testing.T, a *Analyzer) {
+func loadFixture(t *testing.T, name string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", a.Name)
+	dir := filepath.Join("testdata", "src", name)
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
 		t.Fatalf("no fixtures in %s: %v", dir, err)
@@ -35,8 +53,8 @@ func runFixture(t *testing.T, a *Analyzer) {
 
 	fset := token.NewFileSet()
 	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+	for _, fname := range names {
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,15 +62,25 @@ func runFixture(t *testing.T, a *Analyzer) {
 	}
 	info := newInfo()
 	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(a.Name, fset, files, info)
+	pkg, err := conf.Check(name, fset, files, info)
 	if err != nil {
 		t.Fatalf("fixture does not type-check: %v", err)
 	}
+	return fset, files, pkg, info
+}
+
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	fset, files, pkg, info := loadFixture(t, a.Name)
 
 	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, PkgPath: a.Name}
 	pass.prepareAnnotations()
 	a.Run(pass)
+	matchWants(t, fset, files, pass.diags)
+}
 
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
 	type expectation struct {
 		file    string
 		line    int
@@ -80,7 +108,7 @@ func runFixture(t *testing.T, a *Analyzer) {
 		}
 	}
 
-	for _, d := range pass.diags {
+	for _, d := range diags {
 		posn := fset.Position(d.Pos)
 		found := false
 		for _, w := range wants {
@@ -122,6 +150,15 @@ func TestApplies(t *testing.T) {
 		{nativesync, "rfdet/internal/core", true},
 		{nativesync, "rfdet/internal/slicestore", true},
 		{nativesync, "rfdet/internal/mem", false},
+		{lockcheck, "rfdet/internal/core", true},
+		{lockcheck, "rfdet/internal/alloc", true},
+		{lockcheck, "rfdet/internal/kendo", true},
+		{lockcheck, "rfdet/internal/harness", false},
+		{lockcheck, "rfdet/cmd/rfdet-run", false},
+		{pincheck, "rfdet/internal/slicestore", true},
+		{pincheck, "rfdet/internal/alloc", true},
+		{pincheck, "rfdet/internal/kendo", false},
+		{pincheck, "rfdet/internal/trace", false},
 	}
 	for _, c := range cases {
 		if got := c.a.applies(c.path); got != c.want {

@@ -17,11 +17,16 @@ import (
 	"strings"
 )
 
-// analyzers is the determinism suite, in report order.
-var analyzers = []*Analyzer{maporder, wallclock, nativesync}
+// analyzers is the per-package determinism suite, in report order. The
+// whole-program statwire analyzer is not in this list: it needs every
+// package at once and runs only in standalone mode (see driver.go).
+var analyzers = []*Analyzer{maporder, wallclock, nativesync, lockcheck, pincheck}
 
-// main speaks go vet's -vettool protocol (the x/tools unitchecker protocol,
-// reimplemented here because the repo takes no external dependencies):
+// main runs in one of two modes.
+//
+// As a go vet tool it speaks go vet's -vettool protocol (the x/tools
+// unitchecker protocol, reimplemented here because the repo takes no
+// external dependencies):
 //
 //   - `detvet -flags` prints the supported flags as JSON, so the go command
 //     knows which of its vet flags to forward (none).
@@ -30,11 +35,18 @@ var analyzers = []*Analyzer{maporder, wallclock, nativesync}
 //   - `detvet <dir>/vet.cfg` analyzes one package described by the config
 //     the go command wrote, prints findings to stderr and exits nonzero if
 //     there were any.
+//
+// Given package patterns instead of a vet.cfg (`go run ./tools/detvet
+// ./...`), it loads the whole repo itself via `go list -deps -export`,
+// runs the per-package suite on every rfdet package, and additionally runs
+// the whole-program statwire analyzer. -json switches the standalone
+// diagnostics to machine-readable output for the `rfdet-bench lint` smoke.
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("detvet: ")
 
 	printflags := flag.Bool("flags", false, "print flags in JSON format and exit")
+	jsonOut := flag.Bool("json", false, "standalone mode: print diagnostics as JSON on stdout")
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full)")
 	flag.Parse()
 
@@ -43,10 +55,11 @@ func main() {
 		os.Exit(0)
 	}
 	args := flag.Args()
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		log.Fatal(`detvet is a go vet tool; run it via: go vet -vettool=/path/to/detvet ./...`)
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runConfig(args[0])
+		return
 	}
-	runConfig(args[0])
+	runStandalone(args, *jsonOut)
 }
 
 // versionFlag implements -V=full: the go command hashes the output into the
@@ -195,6 +208,7 @@ func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *t
 		}
 		pass.prepareAnnotations()
 		a.Run(pass)
+		recordAttribution(a, pass.diags)
 		diags = append(diags, pass.diags...)
 	}
 	return diags

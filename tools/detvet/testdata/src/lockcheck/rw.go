@@ -1,0 +1,32 @@
+package lockcheck
+
+import "sync"
+
+// table exercises RWMutex semantics: RLock satisfies reads of a guarded
+// field but not writes.
+type table struct {
+	rw   sync.RWMutex   //detvet:lockorder 20
+	rows map[string]int //detvet:guardedby rw
+}
+
+func readShared(t *table, k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func writeExclusive(t *table, k string) {
+	t.rw.Lock()
+	t.rows[k] = 1
+	t.rw.Unlock()
+}
+
+func writeUnderRLock(t *table, k string) {
+	t.rw.RLock()
+	t.rows[k] = 1 // want "write of t.rows without holding rw"
+	t.rw.RUnlock()
+}
+
+func readUnlocked(t *table, k string) int {
+	return t.rows[k] // want "read of t.rows without holding rw"
+}

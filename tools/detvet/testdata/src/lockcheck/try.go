@@ -1,0 +1,40 @@
+package lockcheck
+
+// TryLock is branch-sensitive: the lock is held only where the call
+// returned true, through direct conditions, bound results and negations.
+
+func tryDirect(c *counter) {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+func tryBound(c *counter) {
+	ok := c.mu.TryLock()
+	if ok {
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+func tryNegated(c *counter) {
+	if !c.mu.TryLock() {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func tryFailureBranch(c *counter) {
+	if !c.mu.TryLock() {
+		c.n++ // want "write of c.n without holding mu"
+		return
+	}
+	c.mu.Unlock()
+}
+
+func tryWithoutBranch(c *counter) {
+	c.mu.TryLock()
+	c.n++ // want "write of c.n without holding mu"
+}

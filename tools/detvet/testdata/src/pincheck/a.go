@@ -1,0 +1,118 @@
+package pincheck
+
+// Local analogs of the runtime's three paired resources: epoch pins
+// (slicestore.Pin), arena chunks (alloc.ChunkPool) and plan page buffers
+// (mem's pageBufPool). pincheck matches them by name so the fixture can
+// stand in for the real packages.
+
+type Pin struct {
+	id uint64
+}
+
+func (p Pin) Release() {}
+
+type store struct{}
+
+func (s *store) Pin() Pin { return Pin{id: 1} }
+
+type ChunkPool struct{}
+
+func (c *ChunkPool) Get() []byte  { return nil }
+func (c *ChunkPool) Put(b []byte) {}
+
+func getPageBuf() []byte  { return make([]byte, 4096) }
+func putPageBuf(b []byte) {}
+
+func work() {}
+
+// --- balanced paths: no diagnostics ---
+
+func balanced(s *store) {
+	p := s.Pin()
+	work()
+	p.Release()
+}
+
+func balancedDefer(s *store) {
+	p := s.Pin()
+	defer p.Release()
+	work()
+}
+
+func balancedBothBranches(s *store, cond bool) {
+	p := s.Pin()
+	if cond {
+		p.Release()
+		return
+	}
+	p.Release()
+}
+
+func loopBalanced(s *store, n int) {
+	for i := 0; i < n; i++ {
+		p := s.Pin()
+		p.Release()
+	}
+}
+
+func chunkBalanced(pool *ChunkPool) {
+	c := pool.Get()
+	defer pool.Put(c)
+	work()
+}
+
+func pageBufBalanced() {
+	b := getPageBuf()
+	putPageBuf(b)
+}
+
+// --- leaks ---
+
+func leakEarlyReturn(s *store, cond bool) {
+	p := s.Pin() // want "may still be live at this return"
+	if cond {
+		return
+	}
+	p.Release()
+}
+
+func leakFallOff(s *store) {
+	p := s.Pin() // want "may still be live at the end of leakFallOff"
+	_ = p.id
+}
+
+func leakOneBranch(s *store, cond bool) {
+	p := s.Pin() // want "may still be live"
+	if cond {
+		p.Release()
+	}
+}
+
+func chunkLeak(pool *ChunkPool, n int) {
+	c := pool.Get() // want "may still be live"
+	if n > 0 {
+		pool.Put(c)
+	}
+}
+
+func pageBufLeak(cond bool) {
+	b := getPageBuf() // want "may still be live"
+	if cond {
+		return
+	}
+	putPageBuf(b)
+}
+
+func discarded(s *store) {
+	s.Pin() // want "result of this call is discarded"
+}
+
+func blanked(s *store) {
+	_ = s.Pin() // want "never released"
+}
+
+func reassigned(s *store) {
+	p := s.Pin()
+	p = s.Pin() // want "reassignment of p while the previous epoch pin"
+	p.Release()
+}

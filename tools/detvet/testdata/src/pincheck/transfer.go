@@ -1,0 +1,51 @@
+package pincheck
+
+// Ownership transfer ends tracking: returning the resource, storing it into
+// a field or composite literal, sending it on a channel, passing it to a
+// callee, or capturing it in a closure all hand the release obligation on.
+
+type wakeEvent struct {
+	pin Pin
+}
+
+type holder struct {
+	p Pin
+}
+
+func consume(p Pin) {}
+
+func transferReturn(s *store) Pin {
+	p := s.Pin()
+	return p
+}
+
+func transferField(s *store, h *holder) {
+	p := s.Pin()
+	h.p = p
+}
+
+func transferComposite(s *store, ch chan wakeEvent) {
+	p := s.Pin()
+	ch <- wakeEvent{pin: p}
+}
+
+func transferCall(s *store) {
+	p := s.Pin()
+	consume(p)
+}
+
+func transferClosure(s *store) func() {
+	p := s.Pin()
+	return func() { p.Release() }
+}
+
+func fieldReadIsNotTransfer(s *store) uint64 {
+	p := s.Pin() // want "may still be live"
+	return p.id
+}
+
+func suppressedLeak(s *store) {
+	//detvet:pincheck pin parked deliberately; the scheduler releases it
+	p := s.Pin()
+	_ = p.id
+}

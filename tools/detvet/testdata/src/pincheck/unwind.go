@@ -1,0 +1,21 @@
+package pincheck
+
+// Explicit panic statements are unwind exits: only a deferred release
+// survives them. This models the deterministic abort path, which unwinds
+// through panic(errAborted).
+
+func panicLeak(s *store, bad bool) {
+	p := s.Pin() // want "may still be live at this panic"
+	if bad {
+		panic("abort")
+	}
+	p.Release()
+}
+
+func panicSafe(s *store, bad bool) {
+	p := s.Pin()
+	defer p.Release()
+	if bad {
+		panic("abort")
+	}
+}
